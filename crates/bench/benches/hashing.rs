@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the three beacon-assignment schemes: per-lookup
+//! cost, load recording, and the per-cycle sub-range determination — the
+//! costs the paper trades against load balance in §2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachecloud_hashing::{
+    BeaconAssigner, ConsistentHashing, DynamicHashing, RingLayout, StaticHashing,
+};
+use cachecloud_types::{CacheId, Capability, DocId};
+
+fn docs(n: usize) -> Vec<DocId> {
+    (0..n).map(|i| DocId::from_url(format!("/bench/doc-{i}"))).collect()
+}
+
+fn assigners(caches: usize) -> Vec<(&'static str, Box<dyn BeaconAssigner>)> {
+    let ids: Vec<CacheId> = (0..caches).map(CacheId).collect();
+    let caps: Vec<(CacheId, Capability)> =
+        ids.iter().map(|&c| (c, Capability::UNIT)).collect();
+    vec![
+        (
+            "static",
+            Box::new(StaticHashing::new(ids.clone()).unwrap()) as Box<dyn BeaconAssigner>,
+        ),
+        (
+            "consistent",
+            Box::new(ConsistentHashing::new(ids.clone(), 40).unwrap()),
+        ),
+        (
+            "dynamic",
+            Box::new(
+                DynamicHashing::new(&caps, RingLayout::points_per_ring(2), 1000, true)
+                    .unwrap(),
+            ),
+        ),
+    ]
+}
+
+fn bench_beacon_for(c: &mut Criterion) {
+    let ds = docs(1024);
+    let mut group = c.benchmark_group("beacon_for");
+    for (name, assigner) in assigners(10) {
+        group.bench_with_input(BenchmarkId::new(name, 10), &assigner, |b, a| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                black_box(a.beacon_for(&ds[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_record_load(c: &mut Criterion) {
+    let ds = docs(1024);
+    let mut group = c.benchmark_group("record_load");
+    for (name, mut assigner) in assigners(10) {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                assigner.record_load(&ds[i], 1.0);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_cycle(c: &mut Criterion) {
+    // The cost the paper worries about for large rings: sub-range
+    // determination across ring sizes 2 / 5 / 10 on a 10-cache cloud.
+    let ds = docs(4096);
+    let mut group = c.benchmark_group("end_cycle");
+    for ring in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("ring_size", ring), &ring, |b, &ring| {
+            let caps: Vec<(CacheId, Capability)> =
+                (0..10).map(|i| (CacheId(i), Capability::UNIT)).collect();
+            let mut dh =
+                DynamicHashing::new(&caps, RingLayout::points_per_ring(ring), 1000, true)
+                    .unwrap();
+            b.iter(|| {
+                for (i, d) in ds.iter().enumerate() {
+                    dh.record_load(d, (i % 17) as f64);
+                }
+                black_box(dh.end_cycle())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beacon_for, bench_record_load, bench_end_cycle);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the placement policies: the per-miss decision cost
+//! (the utility function must be cheap — it runs on every local miss).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cachecloud_placement::{
+    AdHocPolicy, BeaconPointPolicy, PlacementContext, PlacementPolicy, RateMonitor,
+    UtilityBasedPolicy, UtilityWeights,
+};
+use cachecloud_types::{DocId, SimDuration, SimTime};
+
+fn ctx(i: usize) -> PlacementContext {
+    PlacementContext {
+        now: SimTime::from_micros(i as u64 * 1000),
+        is_beacon: i.is_multiple_of(7),
+        copies_in_cloud: i % 9,
+        access_rate: (i % 13) as f64 * 0.5,
+        prior_access_rate: (i % 11) as f64 * 0.4,
+        mean_access_rate: 1.2,
+        update_rate: (i % 29) as f64 * 0.3,
+        residence_here: i.is_multiple_of(3).then(|| SimDuration::from_secs(600)),
+        max_residence_elsewhere: i.is_multiple_of(5).then(|| SimDuration::from_secs(1200)),
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let contexts: Vec<PlacementContext> = (0..1024).map(ctx).collect();
+    let policies: Vec<(&str, Box<dyn PlacementPolicy>)> = vec![
+        ("adhoc", Box::new(AdHocPolicy::new())),
+        ("beacon", Box::new(BeaconPointPolicy::new())),
+        (
+            "utility3",
+            Box::new(UtilityBasedPolicy::new(UtilityWeights::equal_three(), 0.5).unwrap()),
+        ),
+        (
+            "utility4",
+            Box::new(UtilityBasedPolicy::new(UtilityWeights::equal_four(), 0.5).unwrap()),
+        ),
+    ];
+    let mut group = c.benchmark_group("should_store");
+    for (name, policy) in &policies {
+        group.bench_function(*name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                black_box(policy.should_store(&contexts[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rate_monitor(c: &mut Criterion) {
+    let docs: Vec<DocId> = (0..256)
+        .map(|i| DocId::from_url(format!("/m/{i}")))
+        .collect();
+    c.bench_function("rate_monitor_record", |b| {
+        let mut m = RateMonitor::new(SimDuration::from_minutes(10));
+        let mut i = 0usize;
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            i = (i + 1) & 255;
+            t += SimDuration::from_millis(10);
+            m.record(&docs[i], t);
+        })
+    });
+    c.bench_function("rate_monitor_query", |b| {
+        let mut m = RateMonitor::new(SimDuration::from_minutes(10));
+        let mut t = SimTime::ZERO;
+        for _ in 0..16 {
+            for d in &docs {
+                t += SimDuration::from_millis(5);
+                m.record(d, t);
+            }
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 255;
+            black_box(m.rate_per_minute(&docs[i], t))
+        })
+    });
+}
+
+criterion_group!(benches, bench_decisions, bench_rate_monitor);
+criterion_main!(benches);

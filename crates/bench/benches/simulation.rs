@@ -1,0 +1,84 @@
+//! End-to-end simulator throughput: events per second through the full
+//! cache-cloud protocol stack, plus the protocol-level load replay used by
+//! the Figure 3–6 experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cache_clouds::{
+    replay_beacon_loads, CloudConfig, EdgeNetworkSim, HashingScheme, PlacementScheme,
+};
+use cachecloud_types::SimDuration;
+use cachecloud_workload::{Trace, ZipfTraceBuilder};
+
+fn small_trace() -> Trace {
+    ZipfTraceBuilder::new()
+        .documents(1_000)
+        .caches(10)
+        .duration_minutes(30)
+        .requests_per_cache_per_minute(40.0)
+        .updates_per_minute(40.0)
+        .seed(99)
+        .build()
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let trace = small_trace();
+    let events = trace.events().len() as u64;
+    let mut group = c.benchmark_group("full_sim");
+    group.throughput(criterion::Throughput::Elements(events));
+    group.sample_size(10);
+    for (name, placement) in [
+        ("adhoc", PlacementScheme::AdHoc),
+        ("utility", PlacementScheme::utility_default()),
+        ("beacon", PlacementScheme::BeaconPoint),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &placement,
+            |b, placement| {
+                b.iter(|| {
+                    let config = CloudConfig::builder(10)
+                        .hashing(HashingScheme::dynamic_rings(5, 1000, true))
+                        .placement(placement.clone())
+                        .cycle(SimDuration::from_minutes(10))
+                        .seed(1)
+                        .build()
+                        .unwrap();
+                    black_box(EdgeNetworkSim::new(config, &trace).unwrap().run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_load_replay(c: &mut Criterion) {
+    let trace = small_trace();
+    let events = trace.events().len() as u64;
+    let mut group = c.benchmark_group("load_replay");
+    group.throughput(criterion::Throughput::Elements(events));
+    for scheme in [
+        HashingScheme::Static,
+        HashingScheme::dynamic_rings(5, 1000, true),
+    ] {
+        let name = match &scheme {
+            HashingScheme::Static => "static",
+            _ => "dynamic",
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, scheme| {
+            b.iter(|| {
+                let mut assigner = scheme.build(10).unwrap();
+                black_box(replay_beacon_loads(
+                    &trace,
+                    assigner.as_mut(),
+                    SimDuration::from_minutes(10),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_sim, bench_load_replay);
+criterion_main!(benches);

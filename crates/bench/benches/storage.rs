@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the cache store under each replacement policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachecloud_storage::{
+    CacheStore, FifoPolicy, GreedyDualSizePolicy, LfuPolicy, LruPolicy, ReplacementPolicy,
+};
+use cachecloud_types::{ByteSize, DocId, SimTime, Version};
+
+fn policy(name: &str) -> Box<dyn ReplacementPolicy> {
+    match name {
+        "lru" => Box::new(LruPolicy::new()),
+        "fifo" => Box::new(FifoPolicy::new()),
+        "lfu" => Box::new(LfuPolicy::new()),
+        "gds" => Box::new(GreedyDualSizePolicy::new()),
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn bench_insert_evict(c: &mut Criterion) {
+    let docs: Vec<DocId> = (0..4096)
+        .map(|i| DocId::from_url(format!("/s/{i}")))
+        .collect();
+    let mut group = c.benchmark_group("insert_with_eviction");
+    for name in ["lru", "fifo", "lfu", "gds"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            // Capacity for ~256 of the 4096 docs: every insert evicts.
+            let mut store =
+                CacheStore::new(ByteSize::from_bytes(256 * 100), policy(name));
+            let mut i = 0usize;
+            let mut t = 0u64;
+            b.iter(|| {
+                i = (i + 1) & 4095;
+                t += 1;
+                black_box(
+                    store
+                        .insert(
+                            docs[i].clone(),
+                            ByteSize::from_bytes(100),
+                            Version(t),
+                            SimTime::from_micros(t),
+                        )
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_access_hit(c: &mut Criterion) {
+    let docs: Vec<DocId> = (0..1024)
+        .map(|i| DocId::from_url(format!("/h/{i}")))
+        .collect();
+    let mut group = c.benchmark_group("access_hit");
+    for name in ["lru", "lfu"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let mut store = CacheStore::new(ByteSize::UNLIMITED, policy(name));
+            for (t, d) in docs.iter().enumerate() {
+                store
+                    .insert(
+                        d.clone(),
+                        ByteSize::from_bytes(100),
+                        Version(0),
+                        SimTime::from_micros(t as u64),
+                    )
+                    .unwrap();
+            }
+            let mut i = 0usize;
+            let mut t = 10_000u64;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                t += 1;
+                black_box(store.access(&docs[i], SimTime::from_micros(t)).is_some())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_evict, bench_access_hit);
+criterion_main!(benches);

@@ -1,0 +1,685 @@
+//! Ablation experiments beyond the paper's figures.
+//!
+//! The paper motivates several design choices qualitatively; these
+//! experiments quantify them:
+//!
+//! * [`consistent_hashing`] — why consistent hashing was rejected for
+//!   beacon assignment (§2.1): URL balance vs load balance, and the
+//!   `O(log n)` discovery cost;
+//! * [`weight_sensitivity`] — the paper's "ongoing work" on utility-weight
+//!   setting: how network load responds to shifting weight between the
+//!   components;
+//! * [`multi_cloud`] — the architecture's second headline benefit: the
+//!   origin sends one update per *cloud*, not per holder;
+//! * [`replacement_policies`] — LRU (the paper's choice) against FIFO, LFU
+//!   and GreedyDual-Size under bounded disks.
+
+use cache_clouds::{
+    replay_beacon_loads, CapacityConfig, CloudConfig, EdgeNetworkSim, HashingScheme,
+    MultiCloudSim, PlacementScheme, ReplacementKind,
+};
+use cachecloud_metrics::report::{fmt_f64, Table};
+use cachecloud_metrics::Summary;
+use cachecloud_placement::UtilityWeights;
+use cachecloud_types::SimDuration;
+use cachecloud_workload::{SydneyTraceBuilder, Trace};
+use serde::Serialize;
+
+use crate::scale::Scale;
+
+const SEED: u64 = 4242;
+
+fn trace(scale: &Scale, caches: usize) -> Trace {
+    SydneyTraceBuilder::new()
+        .documents(scale.sydney_docs)
+        .caches(caches)
+        .duration_minutes(scale.minutes)
+        .requests_per_cache_per_minute(scale.req_per_cache_min)
+        .updates_per_minute(scale.update_rate)
+        .seed(SEED)
+        .build()
+}
+
+// ---------------------------------------------------------------------------
+// Consistent hashing ablation.
+// ---------------------------------------------------------------------------
+
+/// One consistent-hashing configuration's balance and lookup cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConsistentRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Coefficient of variation of beacon loads.
+    pub cov: f64,
+    /// Max/mean beacon-load ratio.
+    pub max_over_mean: f64,
+    /// Beacon-discovery hops per lookup.
+    pub discovery_hops: u32,
+}
+
+/// Result of the consistent-hashing ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConsistentResult {
+    /// One row per scheme/vnode configuration.
+    pub rows: Vec<ConsistentRow>,
+}
+
+/// Quantifies the paper's §2.1 critique of consistent hashing: virtual
+/// nodes fix *URL* balance but not *load* balance under skew, and
+/// distributed discovery costs `O(log n)` hops; dynamic hashing gets both
+/// right.
+pub fn consistent_hashing(scale: &Scale) -> ConsistentResult {
+    let caches = 10usize;
+    let tr = trace(scale, caches);
+    let cycle = SimDuration::from_minutes(scale.cycle_minutes);
+    let mut rows = Vec::new();
+    let mut measure = |label: String, scheme: HashingScheme| {
+        let mut assigner = scheme.build(caches).expect("valid scheme");
+        let hops =
+            assigner.discovery_hops(&cachecloud_types::DocId::from_url("/probe"));
+        let rep = replay_beacon_loads(&tr, assigner.as_mut(), cycle, 1);
+        let s = Summary::of(&rep.loads_per_unit);
+        rows.push(ConsistentRow {
+            scheme: label,
+            cov: s.coefficient_of_variation(),
+            max_over_mean: s.max_over_mean(),
+            discovery_hops: hops,
+        });
+    };
+    measure("static".into(), HashingScheme::Static);
+    for vnodes in [1usize, 10, 100] {
+        measure(
+            format!("consistent ({vnodes} vnodes)"),
+            HashingScheme::Consistent {
+                virtual_nodes: vnodes,
+            },
+        );
+    }
+    measure(
+        "dynamic (2/ring)".into(),
+        HashingScheme::dynamic_ring_size(2, 1000, true),
+    );
+    ConsistentResult { rows }
+}
+
+impl ConsistentResult {
+    /// Dynamic hashing must balance at least as well as the best
+    /// consistent-hashing configuration while discovering in one hop.
+    pub fn shape_ok(&self) -> bool {
+        let dynamic = self.rows.last().expect("dynamic row present");
+        let best_consistent = self
+            .rows
+            .iter()
+            .filter(|r| r.scheme.starts_with("consistent"))
+            .map(|r| r.cov)
+            .fold(f64::INFINITY, f64::min);
+        dynamic.discovery_hops == 1
+            && self
+                .rows
+                .iter()
+                .filter(|r| r.scheme.starts_with("consistent"))
+                .all(|r| r.discovery_hops > 1)
+            && dynamic.cov < best_consistent
+    }
+
+    /// Renders the table.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["scheme", "cov", "max/mean", "hops"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.scheme.clone(),
+                fmt_f64(r.cov, 3),
+                fmt_f64(r.max_over_mean, 3),
+                r.discovery_hops.to_string(),
+            ]);
+        }
+        format!(
+            "Ablation — consistent hashing as beacon assigner (Sydney dataset)\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Utility-weight sensitivity.
+// ---------------------------------------------------------------------------
+
+/// One weight configuration's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct WeightRow {
+    /// Configuration label.
+    pub label: String,
+    /// Weights (afc, dac, dscc, cmc).
+    pub weights: (f64, f64, f64, f64),
+    /// Network load, MB per unit time.
+    pub mb_per_unit: f64,
+    /// Cloud hit rate.
+    pub cloud_hit_rate: f64,
+    /// Percent of catalog stored per cache.
+    pub pct_stored: f64,
+}
+
+/// Result of the weight-sensitivity ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct WeightResult {
+    /// One row per weight configuration.
+    pub rows: Vec<WeightRow>,
+}
+
+/// Sweeps the utility weights (the paper's "more sophisticated approaches
+/// to setting the weight values" future work) on a high-update workload,
+/// where the CMC weight matters most.
+pub fn weight_sensitivity(scale: &Scale) -> WeightResult {
+    let caches = 10usize;
+    let tr = SydneyTraceBuilder::new()
+        .documents(scale.sydney_docs)
+        .caches(caches)
+        .duration_minutes(scale.minutes)
+        .requests_per_cache_per_minute(scale.req_per_cache_min)
+        .updates_per_minute(500.0)
+        .seed(SEED)
+        .build();
+    let configs: Vec<(&str, UtilityWeights)> = vec![
+        ("equal thirds (paper)", UtilityWeights::equal_three()),
+        (
+            "cmc-heavy",
+            UtilityWeights::new(0.2, 0.2, 0.0, 0.6).expect("valid"),
+        ),
+        (
+            "afc-heavy",
+            UtilityWeights::new(0.6, 0.2, 0.0, 0.2).expect("valid"),
+        ),
+        (
+            "dac-heavy",
+            UtilityWeights::new(0.2, 0.6, 0.0, 0.2).expect("valid"),
+        ),
+    ];
+    let rows = configs
+        .into_iter()
+        .map(|(label, weights)| {
+            let cfg = CloudConfig::builder(caches)
+                .hashing(HashingScheme::dynamic_ring_size(2, 1000, true))
+                .placement(PlacementScheme::Utility {
+                    weights,
+                    threshold: 0.5,
+                })
+                .cycle(SimDuration::from_minutes(scale.cycle_minutes))
+                .seed(SEED)
+                .build()
+                .expect("valid config");
+            let r = EdgeNetworkSim::new(cfg, &tr).expect("matching trace").run();
+            WeightRow {
+                label: label.to_owned(),
+                weights: (weights.afc, weights.dac, weights.dscc, weights.cmc),
+                mb_per_unit: r.traffic_mb_per_unit,
+                cloud_hit_rate: r.cloud_hit_rate(),
+                pct_stored: r.pct_docs_stored_per_cache(),
+            }
+        })
+        .collect();
+    WeightResult { rows }
+}
+
+impl WeightResult {
+    /// On an update-heavy workload, weighting CMC higher must not store
+    /// more than the paper's equal weighting does.
+    pub fn shape_ok(&self) -> bool {
+        let equal = &self.rows[0];
+        let cmc_heavy = &self.rows[1];
+        cmc_heavy.pct_stored <= equal.pct_stored + 1e-9
+    }
+
+    /// Renders the table.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["weights", "afc/dac/dscc/cmc", "MB/u", "cloud hit", "stored"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.label.clone(),
+                format!(
+                    "{:.1}/{:.1}/{:.1}/{:.1}",
+                    r.weights.0, r.weights.1, r.weights.2, r.weights.3
+                ),
+                fmt_f64(r.mb_per_unit, 2),
+                format!("{:.1}%", r.cloud_hit_rate * 100.0),
+                format!("{:.1}%", r.pct_stored),
+            ]);
+        }
+        format!(
+            "Ablation — utility-weight sensitivity (500 updates/unit)\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cloud update fan-out.
+// ---------------------------------------------------------------------------
+
+/// Result of the multi-cloud ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiCloudResult {
+    /// Number of clouds the 40 caches were grouped into.
+    pub clouds: usize,
+    /// Update messages the origin sent (one per holding cloud).
+    pub with_clouds: u64,
+    /// Update messages without cooperation (one per holder).
+    pub without_clouds: u64,
+    /// Reduction factor.
+    pub reduction: f64,
+    /// Aggregate cloud hit rate.
+    pub cloud_hit_rate: f64,
+}
+
+/// Runs a 40-cache edge network grouped into 4 clouds of 10 and measures
+/// the origin's update fan-out with and without cloud cooperation.
+pub fn multi_cloud(scale: &Scale) -> MultiCloudResult {
+    let caches = 40usize;
+    let clouds = 4usize;
+    let tr = SydneyTraceBuilder::new()
+        .documents(scale.sydney_docs)
+        .caches(caches)
+        .duration_minutes(scale.minutes.min(360))
+        .requests_per_cache_per_minute(scale.req_per_cache_min)
+        .updates_per_minute(scale.update_rate)
+        .seed(SEED)
+        .build();
+    let membership: Vec<Vec<usize>> = (0..clouds)
+        .map(|c| ((c * caches / clouds)..((c + 1) * caches / clouds)).collect())
+        .collect();
+    let template = CloudConfig::builder(caches / clouds)
+        .hashing(HashingScheme::dynamic_ring_size(2, 1000, true))
+        .placement(PlacementScheme::AdHoc)
+        .cycle(SimDuration::from_minutes(scale.cycle_minutes))
+        .seed(SEED)
+        .build()
+        .expect("valid template");
+    let report = MultiCloudSim::new(&membership, &template, &tr)
+        .expect("valid membership")
+        .run();
+    let requests: u64 = report.requests();
+    let in_cloud: u64 = report
+        .clouds
+        .iter()
+        .map(|c| c.local_hits + c.cloud_hits)
+        .sum();
+    MultiCloudResult {
+        clouds,
+        with_clouds: report.origin_update_messages,
+        without_clouds: report.origin_update_messages_without_clouds,
+        reduction: report.update_fanout_reduction(),
+        cloud_hit_rate: in_cloud as f64 / requests.max(1) as f64,
+    }
+}
+
+impl MultiCloudResult {
+    /// Clouds must reduce the origin's update fan-out substantially.
+    pub fn shape_ok(&self) -> bool {
+        self.reduction > 1.5 && self.cloud_hit_rate > 0.5
+    }
+
+    /// Renders the result.
+    pub fn print(&self) -> String {
+        format!(
+            "Ablation — origin update fan-out across {} clouds\n\
+             update messages with clouds:    {}\n\
+             update messages without clouds: {}\n\
+             reduction factor:               {:.2}x\n\
+             aggregate cloud hit rate:       {:.1}%\n",
+            self.clouds,
+            self.with_clouds,
+            self.without_clouds,
+            self.reduction,
+            self.cloud_hit_rate * 100.0
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replacement policies under bounded disk.
+// ---------------------------------------------------------------------------
+
+/// One replacement policy's outcome under a bounded disk.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplacementRow {
+    /// Policy name.
+    pub policy: String,
+    /// Local hit rate.
+    pub local_hit_rate: f64,
+    /// Cloud hit rate.
+    pub cloud_hit_rate: f64,
+    /// Evictions per cache.
+    pub evictions_per_cache: f64,
+    /// Network load, MB per unit time.
+    pub mb_per_unit: f64,
+}
+
+/// Result of the replacement ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplacementResult {
+    /// One row per policy.
+    pub rows: Vec<ReplacementRow>,
+}
+
+/// Compares the paper's LRU choice against FIFO, LFU and GreedyDual-Size
+/// with disk at 10 % of the corpus.
+pub fn replacement_policies(scale: &Scale) -> ReplacementResult {
+    let caches = 10usize;
+    let tr = trace(scale, caches);
+    let rows = [
+        ("lru", ReplacementKind::Lru),
+        ("fifo", ReplacementKind::Fifo),
+        ("lfu", ReplacementKind::Lfu),
+        ("gds", ReplacementKind::GreedyDualSize),
+    ]
+    .into_iter()
+    .map(|(name, kind)| {
+        let cfg = CloudConfig::builder(caches)
+            .hashing(HashingScheme::dynamic_ring_size(2, 1000, true))
+            .placement(PlacementScheme::utility_with_dscc())
+            .capacity(CapacityConfig::FractionOfCorpus(0.10))
+            .replacement(kind)
+            .cycle(SimDuration::from_minutes(scale.cycle_minutes))
+            .seed(SEED)
+            .build()
+            .expect("valid config");
+        let r = EdgeNetworkSim::new(cfg, &tr).expect("matching trace").run();
+        ReplacementRow {
+            policy: name.to_owned(),
+            local_hit_rate: r.local_hit_rate(),
+            cloud_hit_rate: r.cloud_hit_rate(),
+            evictions_per_cache: r.evictions as f64 / caches as f64,
+            mb_per_unit: r.traffic_mb_per_unit,
+        }
+    })
+    .collect();
+    ReplacementResult { rows }
+}
+
+impl ReplacementResult {
+    /// Recency/frequency-aware policies must not lose to FIFO on hit rate.
+    pub fn shape_ok(&self) -> bool {
+        let get = |name: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.policy == name)
+                .expect("policy measured")
+        };
+        get("lru").local_hit_rate >= get("fifo").local_hit_rate - 0.02
+            && self.rows.iter().all(|r| r.evictions_per_cache > 0.0)
+    }
+
+    /// Renders the table.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["policy", "local hit", "cloud hit", "evictions/cache", "MB/u"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.policy.clone(),
+                format!("{:.1}%", r.local_hit_rate * 100.0),
+                format!("{:.1}%", r.cloud_hit_rate * 100.0),
+                format!("{:.0}", r.evictions_per_cache),
+                fmt_f64(r.mb_per_unit, 2),
+            ]);
+        }
+        format!(
+            "Ablation — replacement policies (disk = 10% of corpus, utility placement)\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consistency models: server push vs TTL.
+// ---------------------------------------------------------------------------
+
+/// One consistency configuration's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConsistencyRow {
+    /// Configuration label.
+    pub label: String,
+    /// Fraction of requests served a stale version.
+    pub staleness_rate: f64,
+    /// Revalidation round trips to the origin.
+    pub revalidations: u64,
+    /// Update deliveries pushed by the origin/beacons.
+    pub update_deliveries: u64,
+    /// Network load, MB per unit time.
+    pub mb_per_unit: f64,
+    /// Wide-area MB moved in total.
+    pub wide_area_mb: f64,
+}
+
+/// Result of the consistency ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConsistencyResult {
+    /// One row per consistency configuration.
+    pub rows: Vec<ConsistencyRow>,
+}
+
+/// Compares the paper's server-push consistency against the TTL model of
+/// earlier cooperative-caching work (paper §5): TTLs trade staleness
+/// against revalidation traffic, while server push serves zero stale
+/// versions.
+pub fn consistency_models(scale: &Scale) -> ConsistencyResult {
+    use cache_clouds::ConsistencyModel;
+    let caches = 10usize;
+    let tr = trace(scale, caches);
+    let configs: Vec<(String, ConsistencyModel)> = std::iter::once((
+        "server push (paper)".to_owned(),
+        ConsistencyModel::ServerPush,
+    ))
+    .chain([1u64, 5, 30, 120].into_iter().map(|mins| {
+        (
+            format!("ttl {mins}m"),
+            ConsistencyModel::Ttl(SimDuration::from_minutes(mins)),
+        )
+    }))
+    .collect();
+    let rows = configs
+        .into_iter()
+        .map(|(label, consistency)| {
+            let cfg = CloudConfig::builder(caches)
+                .hashing(HashingScheme::dynamic_ring_size(2, 1000, true))
+                .placement(PlacementScheme::AdHoc)
+                .consistency(consistency)
+                .cycle(SimDuration::from_minutes(scale.cycle_minutes))
+                .seed(SEED)
+                .build()
+                .expect("valid config");
+            let r = EdgeNetworkSim::new(cfg, &tr).expect("matching trace").run();
+            ConsistencyRow {
+                label,
+                staleness_rate: r.staleness_rate(),
+                revalidations: r.revalidations,
+                update_deliveries: r.update_deliveries,
+                mb_per_unit: r.traffic_mb_per_unit,
+                wide_area_mb: r.wide_area_mb,
+            }
+        })
+        .collect();
+    ConsistencyResult { rows }
+}
+
+impl ConsistencyResult {
+    /// Server push serves zero stale versions; under TTL, staleness grows
+    /// with the TTL while revalidation traffic shrinks.
+    pub fn shape_ok(&self) -> bool {
+        let push = &self.rows[0];
+        let ttls = &self.rows[1..];
+        push.staleness_rate == 0.0
+            && push.revalidations == 0
+            && ttls.windows(2).all(|w| {
+                w[1].staleness_rate >= w[0].staleness_rate
+                    && w[1].revalidations <= w[0].revalidations
+            })
+            && ttls.iter().all(|r| r.staleness_rate > 0.0)
+    }
+
+    /// Renders the table.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["consistency", "stale", "revalidations", "deliveries", "MB/u"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.label.clone(),
+                format!("{:.2}%", r.staleness_rate * 100.0),
+                r.revalidations.to_string(),
+                r.update_deliveries.to_string(),
+                fmt_f64(r.mb_per_unit, 2),
+            ]);
+        }
+        format!(
+            "Ablation — server-push vs TTL consistency (Sydney dataset, ad hoc placement)\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure resilience.
+// ---------------------------------------------------------------------------
+
+/// One scheme's behaviour when a beacon point dies.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Whether the scheme could absorb the failure at all.
+    pub absorbed: bool,
+    /// Fraction of documents whose beacon changed (disruption; lower is
+    /// better — only the victim's documents should move).
+    pub reassigned_fraction: f64,
+    /// CoV of beacon loads among the survivors when the pre-failure load is
+    /// replayed.
+    pub survivor_cov: f64,
+}
+
+/// Result of the failure-resilience ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureResult {
+    /// One row per scheme.
+    pub rows: Vec<FailureRow>,
+}
+
+/// Kills one beacon point under each scheme and measures (a) whether the
+/// scheme keeps functioning, (b) how many unrelated documents get
+/// reassigned, and (c) how balanced the survivors are. The paper cuts its
+/// failure-resilience discussion for space; this quantifies the lazily
+/// replicated-directory design it sketches.
+pub fn failure_resilience(scale: &Scale) -> FailureResult {
+    use cachecloud_types::{CacheId, DocId};
+    let caches = 10usize;
+    let victim = CacheId(3);
+    let docs: Vec<DocId> = (0..scale.zipf_docs.min(5_000))
+        .map(|i| DocId::from_url(format!("/f/{i}")))
+        .collect();
+    let weights: Vec<f64> = (0..docs.len())
+        .map(|i| 1000.0 / (i as f64 + 1.0).powf(0.9))
+        .collect();
+    let mut rows = Vec::new();
+    for (label, scheme) in [
+        ("static", HashingScheme::Static),
+        (
+            "consistent (40 vnodes)",
+            HashingScheme::Consistent { virtual_nodes: 40 },
+        ),
+        (
+            "dynamic (2/ring)",
+            HashingScheme::dynamic_ring_size(2, 1000, true),
+        ),
+    ] {
+        let mut assigner = scheme.build(caches).expect("valid scheme");
+        let before: Vec<CacheId> = docs.iter().map(|d| assigner.beacon_for(d)).collect();
+        let absorbed = assigner.handle_failure(victim);
+        let (reassigned, survivor_cov) = if absorbed {
+            let moved = docs
+                .iter()
+                .zip(&before)
+                .filter(|(d, &b)| assigner.beacon_for(d) != b)
+                .count();
+            let mut loads = vec![0.0f64; caches];
+            for (d, w) in docs.iter().zip(&weights) {
+                loads[assigner.beacon_for(d).index()] += w;
+            }
+            let survivors: Vec<f64> = loads
+                .into_iter()
+                .enumerate()
+                .filter(|&(i, _)| i != victim.index())
+                .map(|(_, l)| l)
+                .collect();
+            (
+                moved as f64 / docs.len() as f64,
+                Summary::of(&survivors).coefficient_of_variation(),
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        rows.push(FailureRow {
+            scheme: label.to_owned(),
+            absorbed,
+            reassigned_fraction: reassigned,
+            survivor_cov,
+        });
+    }
+    FailureResult { rows }
+}
+
+impl FailureResult {
+    /// Static hashing cannot absorb failures; the resilient schemes move
+    /// only a bounded fraction of documents (roughly the victim's share).
+    pub fn shape_ok(&self) -> bool {
+        let stat = &self.rows[0];
+        !stat.absorbed
+            && self.rows[1..].iter().all(|r| {
+                r.absorbed && r.reassigned_fraction > 0.0 && r.reassigned_fraction < 0.3
+            })
+    }
+
+    /// Renders the table.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["scheme", "absorbed", "reassigned", "survivor cov"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.scheme.clone(),
+                r.absorbed.to_string(),
+                if r.reassigned_fraction.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{:.1}%", r.reassigned_fraction * 100.0)
+                },
+                if r.survivor_cov.is_nan() {
+                    "-".into()
+                } else {
+                    fmt_f64(r.survivor_cov, 3)
+                },
+            ]);
+        }
+        format!(
+            "Ablation — beacon-point failure (cache 3 of 10 dies)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_ablation_quick() {
+        let r = failure_resilience(&Scale::quick());
+        assert!(r.shape_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn consistent_ablation_quick() {
+        let r = consistent_hashing(&Scale::quick());
+        assert!(r.shape_ok(), "{r:?}");
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn multicloud_ablation_quick() {
+        let r = multi_cloud(&Scale::quick());
+        assert!(r.shape_ok(), "{r:?}");
+        assert!(r.without_clouds > r.with_clouds);
+    }
+}

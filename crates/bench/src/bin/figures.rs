@@ -1,0 +1,185 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! cargo run -p cachecloud-bench --bin figures --release -- [figN ...] [--scale quick|medium|paper] [--out DIR]
+//! ```
+//!
+//! With no figure arguments, all figures are produced. Tables print to
+//! stdout; raw numbers are written as JSON under `--out`
+//! (default `target/figures/`).
+
+use std::path::PathBuf;
+
+use cachecloud_bench::{ablations, figures};
+use cachecloud_bench::Scale;
+use serde::Serialize;
+
+fn write_json<T: Serialize>(dir: &PathBuf, name: &str, value: &T) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+fn main() {
+    let mut figs: Vec<String> = Vec::new();
+    let mut scale = Scale::default();
+    let mut out = PathBuf::from("target/figures");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let name = args.next().unwrap_or_default();
+                scale = Scale::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{name}` (quick|medium|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [fig2..fig9 | ablation-consistent | ablation-weights | \
+                     ablation-multicloud | ablation-replacement ...] \
+                     [--scale quick|medium|paper] [--out DIR]"
+                );
+                return;
+            }
+            f if f.starts_with("fig") || f.starts_with("ablation") => {
+                figs.push(f.to_string())
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if figs.is_empty() {
+        figs = [
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9",
+            "ablation-consistent", "ablation-weights", "ablation-multicloud",
+            "ablation-replacement", "ablation-failure", "ablation-consistency",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    // Figures 7 and 8 come from the same sweep; run it once.
+    figs.dedup();
+    if figs.contains(&"fig8".to_string()) {
+        figs.retain(|f| f != "fig8");
+        if !figs.contains(&"fig7".to_string()) {
+            figs.push("fig7".to_string());
+        }
+    }
+
+    println!("cache-clouds figure harness — scale: {}\n", scale.label);
+    for f in &figs {
+        let t0 = std::time::Instant::now();
+        match f.as_str() {
+            "fig2" => {
+                let r = figures::fig2();
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig2", &r);
+            }
+            "fig3" => {
+                let r = figures::fig3(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig3", &r);
+            }
+            "fig4" => {
+                let r = figures::fig4(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig4", &r);
+            }
+            "fig5" => {
+                let r = figures::fig5(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig5", &r);
+            }
+            "fig6" => {
+                let r = figures::fig6(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig6", &r);
+            }
+            "fig7" => {
+                let r = figures::fig7_8(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig7_8", &r);
+            }
+            "fig9" => {
+                let r = figures::fig9(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "fig9", &r);
+            }
+            "ablation-consistent" => {
+                let r = ablations::consistent_hashing(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "ablation_consistent", &r);
+            }
+            "ablation-weights" => {
+                let r = ablations::weight_sensitivity(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "ablation_weights", &r);
+            }
+            "ablation-multicloud" => {
+                let r = ablations::multi_cloud(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "ablation_multicloud", &r);
+            }
+            "ablation-replacement" => {
+                let r = ablations::replacement_policies(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "ablation_replacement", &r);
+            }
+            "ablation-consistency" => {
+                let r = ablations::consistency_models(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "ablation_consistency", &r);
+            }
+            "ablation-failure" => {
+                let r = ablations::failure_resilience(&scale);
+                println!("{}", r.print());
+                println!("shape check: {}", verdict(r.shape_ok()));
+                write_json(&out, "ablation_failure", &r);
+            }
+            other => eprintln!("unknown figure `{other}` — skipping"),
+        }
+        println!("[{f} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "OK (matches the paper's qualitative claim)"
+    } else {
+        "MISMATCH (see EXPERIMENTS.md)"
+    }
+}

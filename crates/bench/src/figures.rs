@@ -1,0 +1,608 @@
+//! The per-figure experiment implementations.
+//!
+//! Each `figN` function synthesizes the paper's workload for that figure,
+//! runs the simulator in the paper's configuration, and returns a
+//! serializable result with a `print()` renderer and a `shape_ok()`
+//! predicate asserting the paper's qualitative claim (used by the
+//! integration tests at quick scale).
+
+use cache_clouds::{
+    replay_beacon_loads, CapacityConfig, CloudConfig, EdgeNetworkSim, HashingScheme,
+    PlacementScheme, SimReport,
+};
+use cachecloud_hashing::subrange::{determine_subranges, PointLoad, SubRange};
+use cachecloud_metrics::report::{fmt_f64, Table};
+use cachecloud_metrics::Summary;
+use cachecloud_placement::UtilityWeights;
+use cachecloud_types::{Capability, SimDuration};
+use cachecloud_workload::{SydneyTraceBuilder, Trace, ZipfTraceBuilder};
+use serde::Serialize;
+
+use crate::scale::Scale;
+
+const SEED: u64 = 42;
+
+/// The update-rate sweep of Figures 7–9 (updates per unit time; 195 is the
+/// Sydney trace's observed rate, the dashed line in the paper).
+pub const UPDATE_RATES: [f64; 6] = [10.0, 50.0, 100.0, 195.0, 500.0, 1000.0];
+
+fn zipf_trace(scale: &Scale, theta: f64, caches: usize) -> Trace {
+    ZipfTraceBuilder::new()
+        .documents(scale.zipf_docs)
+        .theta(theta)
+        .caches(caches)
+        .duration_minutes(scale.minutes)
+        .requests_per_cache_per_minute(scale.req_per_cache_min)
+        .updates_per_minute(scale.update_rate)
+        .seed(SEED)
+        .build()
+}
+
+fn sydney_trace(scale: &Scale, caches: usize, update_rate: f64) -> Trace {
+    SydneyTraceBuilder::new()
+        .documents(scale.sydney_docs)
+        .caches(caches)
+        .duration_minutes(scale.minutes)
+        .requests_per_cache_per_minute(scale.req_per_cache_min)
+        .updates_per_minute(update_rate)
+        .seed(SEED)
+        .build()
+}
+
+fn run(config: CloudConfig, trace: &Trace) -> SimReport {
+    EdgeNetworkSim::new(config, trace)
+        .expect("trace matches configuration")
+        .run()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: the worked sub-range determination example.
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 2 worked example.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Result {
+    /// Per-IrH loads of the example.
+    pub loads: Vec<f64>,
+    /// New sub-ranges with complete per-IrH information, as `(min, max)`.
+    pub complete_ranges: Vec<(u64, u64)>,
+    /// Next-cycle loads under complete information (paper: 410/390).
+    pub complete_loads: Vec<f64>,
+    /// New sub-ranges with `CAvgLoad` approximation only.
+    pub approximate_ranges: Vec<(u64, u64)>,
+    /// Next-cycle loads under approximation (paper: 440/360).
+    pub approximate_loads: Vec<f64>,
+}
+
+/// Reproduces the paper's Figure 2 worked example (IrHGen = 10, initial
+/// split (0,4)/(5,9), loads 500/300).
+pub fn fig2() -> Fig2Result {
+    let loads = vec![
+        175.0, 135.0, 100.0, 30.0, 60.0, 100.0, 50.0, 25.0, 75.0, 50.0,
+    ];
+    let points = |per_irh: bool| {
+        vec![
+            PointLoad {
+                capability: Capability::UNIT,
+                range: SubRange::new(0, 4),
+                total_load: 500.0,
+                per_irh: per_irh.then(|| loads[0..5].to_vec()),
+            },
+            PointLoad {
+                capability: Capability::UNIT,
+                range: SubRange::new(5, 9),
+                total_load: 300.0,
+                per_irh: per_irh.then(|| loads[5..10].to_vec()),
+            },
+        ]
+    };
+    let replay = |ranges: &[SubRange]| -> Vec<f64> {
+        ranges
+            .iter()
+            .map(|r| {
+                (r.min()..=r.max())
+                    .map(|v| loads[v as usize])
+                    .sum::<f64>()
+            })
+            .collect()
+    };
+    let (complete, _) = determine_subranges(&points(true), 10);
+    let (approx, _) = determine_subranges(&points(false), 10);
+    Fig2Result {
+        complete_ranges: complete.iter().map(|r| (r.min(), r.max())).collect(),
+        complete_loads: replay(&complete),
+        approximate_ranges: approx.iter().map(|r| (r.min(), r.max())).collect(),
+        approximate_loads: replay(&approx),
+        loads,
+    }
+}
+
+impl Fig2Result {
+    /// True iff the outputs match the paper exactly.
+    pub fn shape_ok(&self) -> bool {
+        self.complete_ranges == vec![(0, 2), (3, 9)]
+            && self.complete_loads == vec![410.0, 390.0]
+            && self.approximate_ranges == vec![(0, 3), (4, 9)]
+            && self.approximate_loads == vec![440.0, 360.0]
+    }
+
+    /// Renders the figure.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["information", "sub-ranges", "next-cycle loads", "paper"]);
+        t.push_row(vec![
+            "complete (CIrHLd)".into(),
+            format!("{:?}", self.complete_ranges),
+            format!("{:?}", self.complete_loads),
+            "(0,2)/(3,9) -> 410/390".into(),
+        ]);
+        t.push_row(vec![
+            "approximate (CAvgLoad)".into(),
+            format!("{:?}", self.approximate_ranges),
+            format!("{:?}", self.approximate_loads),
+            "(0,3)/(4,9) -> 440/360".into(),
+        ]);
+        format!("Figure 2 — sub-range determination worked example\n{}", t.render())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 & 4: beacon-load distributions, static vs dynamic.
+// ---------------------------------------------------------------------------
+
+/// Result of a load-distribution experiment (Figure 3 or 4).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadDistResult {
+    /// Dataset label ("zipf-0.9" or "sydney").
+    pub dataset: String,
+    /// Static-hashing loads per unit time, sorted descending.
+    pub static_loads: Vec<f64>,
+    /// Dynamic-hashing loads per unit time, sorted descending.
+    pub dynamic_loads: Vec<f64>,
+    /// Static max/mean ratio.
+    pub static_max_over_mean: f64,
+    /// Dynamic max/mean ratio.
+    pub dynamic_max_over_mean: f64,
+    /// Static coefficient of variation.
+    pub static_cov: f64,
+    /// Dynamic coefficient of variation.
+    pub dynamic_cov: f64,
+}
+
+/// Runs the protocol-level beacon-load replay for one hashing scheme.
+///
+/// One warm-up cycle is excluded from measurement so the adaptive scheme is
+/// evaluated at steady state (its first cycle necessarily starts from the
+/// uninformed equal split).
+fn beacon_loads(trace: &Trace, scale: &Scale, scheme: HashingScheme) -> Vec<f64> {
+    let mut assigner = scheme
+        .build(trace.num_caches())
+        .expect("experiment scheme is valid");
+    replay_beacon_loads(
+        trace,
+        assigner.as_mut(),
+        SimDuration::from_minutes(scale.cycle_minutes),
+        1,
+    )
+    .loads_per_unit
+}
+
+fn load_distribution(dataset: &str, trace: &Trace, scale: &Scale) -> LoadDistResult {
+    let mut s = beacon_loads(trace, scale, HashingScheme::Static);
+    let mut d = beacon_loads(
+        trace,
+        scale,
+        HashingScheme::dynamic_ring_size(2, 1000, true),
+    );
+    s.sort_by(|a, b| b.partial_cmp(a).expect("loads are finite"));
+    d.sort_by(|a, b| b.partial_cmp(a).expect("loads are finite"));
+    let ss = Summary::of(&s);
+    let ds = Summary::of(&d);
+    LoadDistResult {
+        dataset: dataset.into(),
+        static_loads: s,
+        dynamic_loads: d,
+        static_max_over_mean: ss.max_over_mean(),
+        dynamic_max_over_mean: ds.max_over_mean(),
+        static_cov: ss.coefficient_of_variation(),
+        dynamic_cov: ds.coefficient_of_variation(),
+    }
+}
+
+/// Figure 3: load distribution on the Zipf-0.9 dataset, 10 caches, dynamic
+/// hashing with 5 rings of 2 beacon points (paper: max/mean 1.9 → 1.2).
+pub fn fig3(scale: &Scale) -> LoadDistResult {
+    let trace = zipf_trace(scale, 0.9, 10);
+    load_distribution("zipf-0.9", &trace, scale)
+}
+
+/// Figure 4: load distribution on the Sydney dataset (paper: dynamic
+/// max/mean ≈ 1.06).
+pub fn fig4(scale: &Scale) -> LoadDistResult {
+    let trace = sydney_trace(scale, 10, scale.update_rate);
+    load_distribution("sydney", &trace, scale)
+}
+
+impl LoadDistResult {
+    /// Dynamic hashing must flatten the distribution: lower max/mean and
+    /// lower CoV than static hashing.
+    pub fn shape_ok(&self) -> bool {
+        self.dynamic_max_over_mean < self.static_max_over_mean
+            && self.dynamic_cov < self.static_cov
+    }
+
+    /// Renders the figure.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["beacon (desc)", "static load/unit", "dynamic load/unit"]);
+        for i in 0..self.static_loads.len() {
+            t.push_row(vec![
+                format!("{}", i + 1),
+                fmt_f64(self.static_loads[i], 1),
+                fmt_f64(self.dynamic_loads.get(i).copied().unwrap_or(0.0), 1),
+            ]);
+        }
+        let mut s = Table::new(["metric", "static", "dynamic"]);
+        s.push_row(vec![
+            "max/mean".into(),
+            fmt_f64(self.static_max_over_mean, 3),
+            fmt_f64(self.dynamic_max_over_mean, 3),
+        ]);
+        s.push_row(vec![
+            "cov".into(),
+            fmt_f64(self.static_cov, 3),
+            fmt_f64(self.dynamic_cov, 3),
+        ]);
+        format!(
+            "Load distribution — {} dataset (10 caches; dynamic: 5 rings x 2 points)\n{}\n{}",
+            self.dataset,
+            t.render(),
+            s.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: beacon-ring size vs load balancing.
+// ---------------------------------------------------------------------------
+
+/// One cloud size's CoV under each scheme (Figure 5).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Row {
+    /// Number of caches in the cloud.
+    pub caches: usize,
+    /// Static hashing CoV.
+    pub cov_static: f64,
+    /// Dynamic hashing CoV with 2-point rings.
+    pub cov_ring2: f64,
+    /// Dynamic hashing CoV with 5-point rings.
+    pub cov_ring5: f64,
+    /// Dynamic hashing CoV with 10-point rings.
+    pub cov_ring10: f64,
+}
+
+/// Result of Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Result {
+    /// One row per cloud size (10, 20, 50).
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Figure 5: impact of beacon-ring size on load balancing (Sydney dataset;
+/// clouds of 10/20/50 caches; rings of 2/5/10 points).
+pub fn fig5(scale: &Scale) -> Fig5Result {
+    let mut rows = Vec::new();
+    for caches in [10usize, 20, 50] {
+        let trace = sydney_trace(scale, caches, scale.update_rate);
+        let cov = |hashing: HashingScheme| {
+            Summary::of(&beacon_loads(&trace, scale, hashing)).coefficient_of_variation()
+        };
+        rows.push(Fig5Row {
+            caches,
+            cov_static: cov(HashingScheme::Static),
+            cov_ring2: cov(HashingScheme::dynamic_ring_size(2, 1000, true)),
+            cov_ring5: cov(HashingScheme::dynamic_ring_size(5, 1000, true)),
+            cov_ring10: cov(HashingScheme::dynamic_ring_size(10, 1000, true)),
+        });
+    }
+    Fig5Result { rows }
+}
+
+impl Fig5Result {
+    /// At every cloud size, dynamic hashing beats static and bigger rings
+    /// balance at least as well as 2-point rings.
+    pub fn shape_ok(&self) -> bool {
+        self.rows.iter().all(|r| {
+            r.cov_ring2 < r.cov_static
+                && r.cov_ring5 < r.cov_static
+                && r.cov_ring10 < r.cov_static
+                && r.cov_ring10 <= r.cov_ring2 + 0.05
+        })
+    }
+
+    /// Renders the figure.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["caches", "static", "dyn 2/ring", "dyn 5/ring", "dyn 10/ring"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                r.caches.to_string(),
+                fmt_f64(r.cov_static, 3),
+                fmt_f64(r.cov_ring2, 3),
+                fmt_f64(r.cov_ring5, 3),
+                fmt_f64(r.cov_ring10, 3),
+            ]);
+        }
+        format!(
+            "Figure 5 — CoV of beacon loads vs beacon-ring size (Sydney dataset)\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: Zipf parameter vs load balancing.
+// ---------------------------------------------------------------------------
+
+/// One Zipf parameter's CoVs (Figure 6).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Zipf parameter of the dataset.
+    pub theta: f64,
+    /// Static hashing CoV.
+    pub cov_static: f64,
+    /// Dynamic hashing CoV (2-point rings).
+    pub cov_dynamic: f64,
+}
+
+/// Result of Figure 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Result {
+    /// One row per Zipf parameter (0.0 … 0.9, 0.99).
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Figure 6: impact of the Zipf parameter on load balancing (10 caches).
+pub fn fig6(scale: &Scale) -> Fig6Result {
+    let thetas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99];
+    let rows = thetas
+        .iter()
+        .map(|&theta| {
+            let trace = zipf_trace(scale, theta, 10);
+            Fig6Row {
+                theta,
+                cov_static: Summary::of(&beacon_loads(&trace, scale, HashingScheme::Static))
+                    .coefficient_of_variation(),
+                cov_dynamic: Summary::of(&beacon_loads(
+                    &trace,
+                    scale,
+                    HashingScheme::dynamic_ring_size(2, 1000, true),
+                ))
+                .coefficient_of_variation(),
+            }
+        })
+        .collect();
+    Fig6Result { rows }
+}
+
+impl Fig6Result {
+    /// Dynamic stays below static at high skew, and static's CoV grows with
+    /// the Zipf parameter.
+    pub fn shape_ok(&self) -> bool {
+        let first = self.rows.first().expect("sweep is non-empty");
+        let last = self.rows.last().expect("sweep is non-empty");
+        last.cov_static > first.cov_static
+            && last.cov_dynamic < last.cov_static
+            && self
+                .rows
+                .iter()
+                .filter(|r| r.theta >= 0.5)
+                .all(|r| r.cov_dynamic < r.cov_static)
+    }
+
+    /// Renders the figure.
+    pub fn print(&self) -> String {
+        let mut t = Table::new(["zipf", "cov static", "cov dynamic"]);
+        for r in &self.rows {
+            t.push_row(vec![
+                fmt_f64(r.theta, 2),
+                fmt_f64(r.cov_static, 3),
+                fmt_f64(r.cov_dynamic, 3),
+            ]);
+        }
+        format!(
+            "Figure 6 — CoV of beacon loads vs Zipf parameter (10 caches)\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7, 8 and 9: the placement-policy update-rate sweeps.
+// ---------------------------------------------------------------------------
+
+/// One update rate's measurements for all three placement policies.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementRow {
+    /// Configured update rate (updates per unit time).
+    pub update_rate: f64,
+    /// Percentage of catalog documents stored per cache: ad hoc.
+    pub adhoc_pct_stored: f64,
+    /// Percentage stored per cache: utility.
+    pub utility_pct_stored: f64,
+    /// Percentage stored per cache: beacon point.
+    pub beacon_pct_stored: f64,
+    /// Network load (MB per unit time): ad hoc.
+    pub adhoc_mb_per_unit: f64,
+    /// Network load: utility.
+    pub utility_mb_per_unit: f64,
+    /// Network load: beacon point.
+    pub beacon_mb_per_unit: f64,
+}
+
+/// Result of a placement sweep (Figures 7–8 with unlimited disk, Figure 9
+/// with disk at 25 % of the corpus).
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementSweepResult {
+    /// Whether the disk-space contention component was active.
+    pub dscc_on: bool,
+    /// One row per update rate.
+    pub rows: Vec<PlacementRow>,
+}
+
+fn placement_sweep(scale: &Scale, dscc_on: bool) -> PlacementSweepResult {
+    let caches = 10usize;
+    let configure = |placement: PlacementScheme| {
+        let mut b = CloudConfig::builder(caches)
+            .hashing(HashingScheme::dynamic_ring_size(2, 1000, true))
+            .placement(placement)
+            .cycle(SimDuration::from_minutes(scale.cycle_minutes))
+            .seed(SEED);
+        if dscc_on {
+            b = b.capacity(CapacityConfig::FractionOfCorpus(0.25));
+        }
+        b.build().expect("sweep configuration is valid")
+    };
+    let utility = if dscc_on {
+        PlacementScheme::Utility {
+            weights: UtilityWeights::equal_four(),
+            threshold: 0.5,
+        }
+    } else {
+        PlacementScheme::utility_default()
+    };
+    let rows = UPDATE_RATES
+        .iter()
+        .map(|&rate| {
+            let trace = sydney_trace(scale, caches, rate);
+            let adhoc = run(configure(PlacementScheme::AdHoc), &trace);
+            let util = run(configure(utility.clone()), &trace);
+            let beacon = run(configure(PlacementScheme::BeaconPoint), &trace);
+            PlacementRow {
+                update_rate: rate,
+                adhoc_pct_stored: adhoc.pct_docs_stored_per_cache(),
+                utility_pct_stored: util.pct_docs_stored_per_cache(),
+                beacon_pct_stored: beacon.pct_docs_stored_per_cache(),
+                adhoc_mb_per_unit: adhoc.traffic_mb_per_unit,
+                utility_mb_per_unit: util.traffic_mb_per_unit,
+                beacon_mb_per_unit: beacon.traffic_mb_per_unit,
+            }
+        })
+        .collect();
+    PlacementSweepResult { dscc_on, rows }
+}
+
+/// Figures 7 and 8: placement policies with unlimited disk (DsCC off,
+/// weights ⅓, threshold 0.5). Figure 7 reads the `*_pct_stored` columns,
+/// Figure 8 the `*_mb_per_unit` columns.
+pub fn fig7_8(scale: &Scale) -> PlacementSweepResult {
+    placement_sweep(scale, false)
+}
+
+/// Figure 9: placement policies with disk limited to 25 % of the corpus,
+/// LRU replacement, all four utility components at ¼.
+pub fn fig9(scale: &Scale) -> PlacementSweepResult {
+    placement_sweep(scale, true)
+}
+
+impl PlacementSweepResult {
+    /// The paper's qualitative claims:
+    /// * ad hoc stores (nearly) everything, beacon ≈ 1/N, utility in
+    ///   between and decreasing with the update rate (Fig 7; under bounded
+    ///   disks every policy is capped, so only the ordering is checked);
+    /// * utility generates the least network load, and its advantage over
+    ///   ad hoc grows with the update rate (Figs 8–9). At the lowest rates
+    ///   update traffic is negligible and utility is statistically tied
+    ///   with ad hoc, so a 2 % tolerance applies there; at and above the
+    ///   observed rate (195) the win must be strict.
+    pub fn shape_ok(&self) -> bool {
+        let first = self.rows.first().expect("sweep is non-empty");
+        let last = self.rows.last().expect("sweep is non-empty");
+        let stored_ok = if self.dscc_on {
+            // Bounded disks cap everyone near the disk limit; utility must
+            // not replicate more than ad hoc does by a visible margin.
+            self.rows
+                .iter()
+                .all(|r| r.utility_pct_stored <= r.adhoc_pct_stored * 1.02)
+        } else {
+            self.rows.iter().all(|r| {
+                r.adhoc_pct_stored >= r.utility_pct_stored - 1e-9
+                    && r.utility_pct_stored >= r.beacon_pct_stored * 0.5
+            }) && last.utility_pct_stored < first.utility_pct_stored
+        };
+        let traffic_ok = self.rows.iter().all(|r| {
+            let tolerance = if r.update_rate < 195.0 { 1.02 } else { 1.0 };
+            // At high update rates our update stream is dominated by
+            // origin→beacon notices that every policy pays identically,
+            // which pulls the beacon curve down earlier than in the paper's
+            // (request-heavier) workload; the beacon comparison is enforced
+            // in the fetch-dominated regime (see EXPERIMENTS.md).
+            r.utility_mb_per_unit <= r.adhoc_mb_per_unit * tolerance
+                && (r.update_rate >= 100.0
+                    || r.utility_mb_per_unit <= r.beacon_mb_per_unit * tolerance)
+        });
+        let gap_grows = (last.adhoc_mb_per_unit - last.utility_mb_per_unit)
+            > (first.adhoc_mb_per_unit - first.utility_mb_per_unit);
+        stored_ok && traffic_ok && gap_grows
+    }
+
+    /// Renders both the Figure 7 table (percent stored) and the Figure 8/9
+    /// table (network load).
+    pub fn print(&self) -> String {
+        let title = if self.dscc_on {
+            "Figure 9 — network load, DsCC on (disk = 25% of corpus, LRU, weights 1/4)"
+        } else {
+            "Figures 7 & 8 — placement policies, DsCC off (unlimited disk, weights 1/3)"
+        };
+        let mut stored = Table::new(["upd/unit", "adhoc %", "utility %", "beacon %"]);
+        let mut mb = Table::new(["upd/unit", "adhoc MB/u", "utility MB/u", "beacon MB/u"]);
+        for r in &self.rows {
+            let marker = if r.update_rate == 195.0 { "*" } else { "" };
+            stored.push_row(vec![
+                format!("{}{marker}", r.update_rate),
+                fmt_f64(r.adhoc_pct_stored, 1),
+                fmt_f64(r.utility_pct_stored, 1),
+                fmt_f64(r.beacon_pct_stored, 1),
+            ]);
+            mb.push_row(vec![
+                format!("{}{marker}", r.update_rate),
+                fmt_f64(r.adhoc_mb_per_unit, 2),
+                fmt_f64(r.utility_mb_per_unit, 2),
+                fmt_f64(r.beacon_mb_per_unit, 2),
+            ]);
+        }
+        format!(
+            "{title}\n(* = observed Sydney update rate)\n\n% of documents stored per cache:\n{}\nnetwork load (MB per unit time):\n{}",
+            stored.render(),
+            mb.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper_exactly() {
+        let r = fig2();
+        assert!(r.shape_ok(), "{r:?}");
+        assert!(r.print().contains("410"));
+    }
+
+    #[test]
+    fn fig3_quick_shape() {
+        let r = fig3(&Scale::quick());
+        assert!(
+            r.shape_ok(),
+            "static {}/{} dynamic {}/{}",
+            r.static_max_over_mean,
+            r.static_cov,
+            r.dynamic_max_over_mean,
+            r.dynamic_cov
+        );
+    }
+
+    #[test]
+    fn fig4_quick_shape() {
+        let r = fig4(&Scale::quick());
+        assert!(r.shape_ok(), "{r:?}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every figure in the paper's evaluation
+//! (§4), plus ablations beyond it.
+//!
+//! Run `cargo run -p cachecloud-bench --bin figures --release` to regenerate
+//! all figures; pass figure names (`fig3 fig7`) to select, and
+//! `--scale quick|medium|paper` to trade fidelity for runtime. Results print
+//! as ASCII tables and are written as JSON next to the binary's working
+//! directory under `target/figures/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod scale;
+
+pub use scale::Scale;

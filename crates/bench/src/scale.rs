@@ -1,0 +1,114 @@
+//! Experiment scale presets.
+
+use serde::Serialize;
+
+/// How large the synthesized workloads are.
+///
+/// `paper` matches the published characteristics (52 367 Sydney documents,
+/// 24 hours); `medium` keeps the same shape at roughly a quarter of the
+/// event volume; `quick` is for smoke tests and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Scale {
+    /// Preset name.
+    pub label: &'static str,
+    /// Documents in the Zipf-θ dataset (paper: 25 000 assumed).
+    pub zipf_docs: usize,
+    /// Documents in the Sydney-like dataset (paper: 52 367).
+    pub sydney_docs: usize,
+    /// Trace length in minutes (paper: 1440).
+    pub minutes: u64,
+    /// Request rate per cache per minute.
+    pub req_per_cache_min: f64,
+    /// Baseline update rate per minute (paper's observed rate: 195).
+    pub update_rate: f64,
+    /// Rebalancing cycle length in minutes (paper: 60).
+    pub cycle_minutes: u64,
+}
+
+impl Scale {
+    /// Full paper scale.
+    pub fn paper() -> Scale {
+        Scale {
+            label: "paper",
+            zipf_docs: 25_000,
+            sydney_docs: 52_367,
+            minutes: 1440,
+            req_per_cache_min: 120.0,
+            update_rate: 195.0,
+            cycle_minutes: 60,
+        }
+    }
+
+    /// Quarter-volume scale (the default for the harness).
+    pub fn medium() -> Scale {
+        Scale {
+            label: "medium",
+            zipf_docs: 12_000,
+            sydney_docs: 20_000,
+            minutes: 480,
+            req_per_cache_min: 60.0,
+            update_rate: 195.0,
+            cycle_minutes: 60,
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Scale {
+        Scale {
+            label: "quick",
+            zipf_docs: 2_000,
+            sydney_docs: 3_000,
+            minutes: 120,
+            req_per_cache_min: 25.0,
+            update_rate: 60.0,
+            cycle_minutes: 30,
+        }
+    }
+
+    /// Parses a preset name.
+    pub fn from_name(name: &str) -> Option<Scale> {
+        match name {
+            "paper" => Some(Scale::paper()),
+            "medium" => Some(Scale::medium()),
+            "quick" => Some(Scale::quick()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::medium()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_by_name() {
+        assert_eq!(Scale::from_name("paper").unwrap().label, "paper");
+        assert_eq!(Scale::from_name("medium").unwrap().label, "medium");
+        assert_eq!(Scale::from_name("quick").unwrap().label, "quick");
+        assert!(Scale::from_name("bogus").is_none());
+    }
+
+    #[test]
+    fn paper_scale_matches_publication() {
+        let p = Scale::paper();
+        assert_eq!(p.sydney_docs, 52_367);
+        assert_eq!(p.minutes, 1440);
+        assert_eq!(p.update_rate, 195.0);
+        assert_eq!(p.cycle_minutes, 60);
+    }
+
+    #[test]
+    fn scales_are_ordered_by_volume() {
+        let q = Scale::quick();
+        let m = Scale::medium();
+        let p = Scale::paper();
+        assert!(q.sydney_docs < m.sydney_docs && m.sydney_docs < p.sydney_docs);
+        assert!(q.minutes < m.minutes && m.minutes <= p.minutes);
+    }
+}

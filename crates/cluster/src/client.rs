@@ -1,0 +1,302 @@
+//! The client library: publish, fetch, update and rebalance a live cache
+//! cloud.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use cachecloud_hashing::subrange::{determine_subranges, PointLoad, SubRange};
+use cachecloud_types::{CacheCloudError, CacheId, Capability};
+use parking_lot::RwLock;
+
+use crate::node::rpc;
+use crate::route::{RangeEntry, RouteTable};
+use crate::wire::{Request, Response};
+
+/// A client of a live cache cloud.
+///
+/// The client caches the cloud's [`RouteTable`], so it can route: reads go
+/// through any node's cooperative `Serve` path; origin-side updates go
+/// straight to the document's beacon node. The client can also act as the
+/// cloud's *rebalancing coordinator*: [`CloudClient::rebalance`] collects
+/// every node's per-IrH load ledger, runs the paper's sub-range
+/// determination, and installs the new table cloud-wide.
+#[derive(Debug, Clone)]
+pub struct CloudClient {
+    peers: Vec<SocketAddr>,
+    table: Arc<RwLock<RouteTable>>,
+}
+
+impl CloudClient {
+    /// Creates a client for a cloud with the given node addresses (indexed
+    /// by node id), assuming the deterministic initial routing table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] if `peers` is empty.
+    pub fn new(peers: Vec<SocketAddr>) -> Result<Self, CacheCloudError> {
+        if peers.is_empty() {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "peers",
+                reason: "a cloud client needs at least one node".into(),
+            });
+        }
+        let points_per_ring = if peers.len().is_multiple_of(2) && peers.len() >= 2 {
+            2
+        } else {
+            1
+        };
+        let table = RouteTable::initial(peers.len(), points_per_ring, 1024);
+        Ok(CloudClient {
+            peers,
+            table: Arc::new(RwLock::new(table)),
+        })
+    }
+
+    /// Number of nodes in the cloud.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Clouds are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node id of the beacon point for `url` under the client's current
+    /// view of the routing table.
+    pub fn beacon_of(&self, url: &str) -> u32 {
+        self.table.read().beacon_of_url(url)
+    }
+
+    /// The client's current routing-table version.
+    pub fn table_version(&self) -> u64 {
+        self.table.read().version
+    }
+
+    /// Refreshes the client's routing table from a node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors.
+    pub fn refresh_table(&self) -> Result<u64, CacheCloudError> {
+        match rpc(self.peers[0], &Request::GetTable)? {
+            Response::Table { table } => {
+                let version = table.version;
+                let mut current = self.table.write();
+                if table.version > current.version {
+                    *current = table;
+                }
+                Ok(version)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Publishes a document body into the cloud: stores it at its beacon
+    /// node (which registers itself as a holder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors.
+    pub fn publish(&self, url: &str, body: Vec<u8>, version: u64) -> Result<(), CacheCloudError> {
+        let beacon = self.beacon_of(url);
+        let resp = rpc(
+            self.peers[beacon as usize],
+            &Request::Put {
+                url: url.to_owned(),
+                version,
+                body: Bytes::from(body),
+            },
+        )?;
+        expect_ok(resp)
+    }
+
+    /// Fetches `url` through node `via`'s cooperative path.
+    ///
+    /// Returns the body and version, or `None` when no copy exists in the
+    /// cloud.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors, and out-of-range `via`.
+    pub fn fetch_via(
+        &self,
+        via: u32,
+        url: &str,
+    ) -> Result<Option<(Vec<u8>, u64)>, CacheCloudError> {
+        let addr = self
+            .peers
+            .get(via as usize)
+            .ok_or(CacheCloudError::UnknownCache(CacheId(via as usize)))?;
+        match rpc(*addr, &Request::Serve { url: url.to_owned() })? {
+            Response::Document { version, body } => Ok(Some((body.to_vec(), version))),
+            Response::NotFound => Ok(None),
+            Response::Error { message } => Err(CacheCloudError::Protocol(message)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches `url` via the document's beacon node.
+    ///
+    /// # Errors
+    ///
+    /// See [`CloudClient::fetch_via`].
+    pub fn fetch(&self, url: &str) -> Result<Option<(Vec<u8>, u64)>, CacheCloudError> {
+        self.fetch_via(self.beacon_of(url), url)
+    }
+
+    /// Origin-side update: pushes a new version to the document's beacon,
+    /// which fans it out to every holder (the paper's update protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors.
+    pub fn update(&self, url: &str, body: Vec<u8>, version: u64) -> Result<(), CacheCloudError> {
+        let beacon = self.beacon_of(url);
+        let resp = rpc(
+            self.peers[beacon as usize],
+            &Request::Update {
+                url: url.to_owned(),
+                version,
+                body: Bytes::from(body),
+            },
+        )?;
+        expect_ok(resp)
+    }
+
+    /// Reads one node's statistics: `(resident, directory_records, hits,
+    /// misses)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors.
+    pub fn stats(&self, node: u32) -> Result<(u64, u64, u64, u64), CacheCloudError> {
+        let addr = self
+            .peers
+            .get(node as usize)
+            .ok_or(CacheCloudError::UnknownCache(CacheId(node as usize)))?;
+        match rpc(*addr, &Request::Stats)? {
+            Response::Stats {
+                resident,
+                directory_records,
+                hits,
+                misses,
+            } => Ok((resident, directory_records, hits, misses)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe of one node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors.
+    pub fn ping(&self, node: u32) -> Result<(), CacheCloudError> {
+        let addr = self
+            .peers
+            .get(node as usize)
+            .ok_or(CacheCloudError::UnknownCache(CacheId(node as usize)))?;
+        match rpc(*addr, &Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs one full rebalancing cycle as the coordinator:
+    ///
+    /// 1. drains every node's per-IrH beacon-load ledger;
+    /// 2. runs the paper's sub-range determination per beacon ring;
+    /// 3. installs the new, version-bumped routing table on every node
+    ///    (nodes push migrated directory records to their new owners);
+    /// 4. adopts the new table locally.
+    ///
+    /// Returns the new table version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors from any node.
+    pub fn rebalance(&self) -> Result<u64, CacheCloudError> {
+        self.refresh_table()?;
+        let current = self.table.read().clone();
+
+        // 1. Collect the cloud-wide per-(ring, IrH) loads.
+        let mut loads: std::collections::HashMap<(u32, u64), f64> =
+            std::collections::HashMap::new();
+        for addr in &self.peers {
+            match rpc(*addr, &Request::GetLoad)? {
+                Response::Load { entries } => {
+                    for (ring, irh, load) in entries {
+                        *loads.entry((ring, irh)).or_insert(0.0) += load;
+                    }
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+
+        // 2. Per-ring sub-range determination (unit capabilities).
+        let mut new_rings = Vec::with_capacity(current.rings.len());
+        for (ring_idx, ring) in current.rings.iter().enumerate() {
+            let points: Vec<PointLoad> = ring
+                .iter()
+                .map(|e| {
+                    let per_irh: Vec<f64> = (e.lo..=e.hi)
+                        .map(|v| loads.get(&(ring_idx as u32, v)).copied().unwrap_or(0.0))
+                        .collect();
+                    PointLoad {
+                        capability: Capability::UNIT,
+                        range: SubRange::new(e.lo, e.hi),
+                        total_load: per_irh.iter().sum(),
+                        per_irh: Some(per_irh),
+                    }
+                })
+                .collect();
+            let (ranges, _) = determine_subranges(&points, current.irh_gen);
+            new_rings.push(
+                ring.iter()
+                    .zip(ranges)
+                    .map(|(e, r)| RangeEntry {
+                        node: e.node,
+                        lo: r.min(),
+                        hi: r.max(),
+                    })
+                    .collect(),
+            );
+        }
+        let new_table = RouteTable {
+            version: current.version + 1,
+            irh_gen: current.irh_gen,
+            rings: new_rings,
+        };
+        new_table
+            .validate()
+            .expect("determination preserves tiling");
+
+        // 3. Install cloud-wide.
+        for addr in &self.peers {
+            expect_ok(rpc(
+                *addr,
+                &Request::SetRanges {
+                    table: new_table.clone(),
+                },
+            )?)?;
+        }
+
+        // 4. Adopt locally.
+        let version = new_table.version;
+        *self.table.write() = new_table;
+        Ok(version)
+    }
+}
+
+fn expect_ok(resp: Response) -> Result<(), CacheCloudError> {
+    match resp {
+        Response::Ok => Ok(()),
+        Response::Error { message } => Err(CacheCloudError::Protocol(message)),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn unexpected(resp: Response) -> CacheCloudError {
+    CacheCloudError::Protocol(format!("unexpected response {resp:?}"))
+}

@@ -1,0 +1,209 @@
+//! Spawning a whole cache cloud on loopback, for tests and examples.
+
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+
+use cachecloud_types::{ByteSize, CacheCloudError};
+
+use crate::client::CloudClient;
+use crate::node::{CacheNode, NodeConfig};
+
+/// A cloud of [`CacheNode`]s running on 127.0.0.1.
+///
+/// All listeners are bound first (ephemeral ports), so every node starts
+/// with the complete peer table.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cachecloud_cluster::LocalCluster;
+///
+/// let cluster = LocalCluster::spawn(3)?;
+/// let client = cluster.client();
+/// client.publish("/hello", b"world".to_vec(), 1)?;
+/// assert!(client.fetch("/hello")?.is_some());
+/// cluster.shutdown();
+/// # Ok::<(), cachecloud_types::CacheCloudError>(())
+/// ```
+#[derive(Debug)]
+pub struct LocalCluster {
+    nodes: Vec<CacheNode>,
+    peers: Vec<SocketAddr>,
+}
+
+impl LocalCluster {
+    /// Spawns `n` nodes with unlimited stores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects `n == 0`.
+    pub fn spawn(n: usize) -> Result<Self, CacheCloudError> {
+        Self::spawn_with_capacity(n, ByteSize::UNLIMITED)
+    }
+
+    /// Spawns `n` nodes with the given per-node store capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects `n == 0`.
+    pub fn spawn_with_capacity(n: usize, capacity: ByteSize) -> Result<Self, CacheCloudError> {
+        if n == 0 {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "nodes",
+                reason: "a cluster needs at least one node".into(),
+            });
+        }
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).map_err(CacheCloudError::from))
+            .collect::<Result<_, _>>()?;
+        let peers: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().map_err(CacheCloudError::from))
+            .collect::<Result<_, _>>()?;
+        let nodes = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(id, listener)| {
+                CacheNode::start_on(
+                    NodeConfig::new(id as u32, peers.clone(), capacity),
+                    listener,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LocalCluster { nodes, peers })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clusters are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node addresses, indexed by node id.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    /// A client for this cloud.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the cluster is non-empty by construction.
+    pub fn client(&self) -> CloudClient {
+        CloudClient::new(self.peers.clone()).expect("cluster is non-empty")
+    }
+
+    /// Stops every node and joins their threads.
+    pub fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_zero_rejected() {
+        assert!(LocalCluster::spawn(0).is_err());
+    }
+
+    #[test]
+    fn publish_fetch_roundtrip() {
+        let cluster = LocalCluster::spawn(3).unwrap();
+        let client = cluster.client();
+        client.publish("/a", b"alpha".to_vec(), 1).unwrap();
+        let (body, version) = client.fetch("/a").unwrap().expect("present");
+        assert_eq!(body, b"alpha");
+        assert_eq!(version, 1);
+        assert!(client.fetch("/missing").unwrap().is_none());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cooperative_fetch_pulls_from_peer() {
+        let cluster = LocalCluster::spawn(4).unwrap();
+        let client = cluster.client();
+        client.publish("/doc", b"payload".to_vec(), 7).unwrap();
+        let beacon = client.beacon_of("/doc");
+        // Fetch via a node that is NOT the beacon: local miss -> beacon
+        // lookup -> peer fetch -> local store.
+        let other = (beacon + 1) % 4;
+        let (body, _) = client.fetch_via(other, "/doc").unwrap().expect("served");
+        assert_eq!(body, b"payload");
+        // The serving node stored a copy: second fetch is a local hit.
+        let (_, _, hits_before, _) = client.stats(other).unwrap();
+        client.fetch_via(other, "/doc").unwrap().expect("served");
+        let (_, _, hits_after, _) = client.stats(other).unwrap();
+        assert_eq!(hits_after, hits_before + 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn update_fans_out_to_all_holders() {
+        let cluster = LocalCluster::spawn(4).unwrap();
+        let client = cluster.client();
+        client.publish("/score", b"0-0".to_vec(), 1).unwrap();
+        // Replicate the copy to every node by fetching through each.
+        for node in 0..4 {
+            client.fetch_via(node, "/score").unwrap().expect("served");
+        }
+        client.update("/score", b"1-0".to_vec(), 2).unwrap();
+        // Every node now serves the new version locally.
+        for node in 0..4 {
+            let (body, version) = client.fetch_via(node, "/score").unwrap().expect("served");
+            assert_eq!(version, 2, "node {node} is stale");
+            assert_eq!(body, b"1-0");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ping_and_stats() {
+        let cluster = LocalCluster::spawn(2).unwrap();
+        let client = cluster.client();
+        client.ping(0).unwrap();
+        client.ping(1).unwrap();
+        assert!(client.ping(9).is_err());
+        client.publish("/s", vec![1, 2, 3], 1).unwrap();
+        let beacon = client.beacon_of("/s");
+        let (resident, records, _, _) = client.stats(beacon).unwrap();
+        assert_eq!(resident, 1);
+        assert_eq!(records, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn bounded_nodes_evict_and_deregister() {
+        // Tiny stores: publishing a second document evicts the first at its
+        // holder and removes the directory record.
+        let cluster =
+            LocalCluster::spawn_with_capacity(2, ByteSize::from_bytes(8)).unwrap();
+        let client = cluster.client();
+        // Find two URLs with the same beacon so they contend for one store.
+        let mut urls = Vec::new();
+        for i in 0..64 {
+            let u = format!("/doc/{i}");
+            if client.beacon_of(&u) == 0 {
+                urls.push(u);
+            }
+            if urls.len() == 2 {
+                break;
+            }
+        }
+        let [a, b]: [String; 2] = urls.try_into().expect("found two node-0 urls");
+        client.publish(&a, vec![1u8; 6], 1).unwrap();
+        client.publish(&b, vec![2u8; 6], 1).unwrap();
+        let (resident, _, _, _) = client.stats(0).unwrap();
+        assert_eq!(resident, 1, "capacity 8 holds only one 6-byte body");
+        // The evicted document is gone from the cloud entirely.
+        assert!(client.fetch(&a).unwrap().is_none());
+        assert!(client.fetch(&b).unwrap().is_some());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,46 @@
+//! A live, threaded TCP implementation of a cache cloud.
+//!
+//! The simulator (`cache-clouds`) evaluates the paper's design; this crate
+//! shows the same protocols running for real: each [`node::CacheNode`] is a
+//! TCP server holding a document store and a beacon directory for its share
+//! of the URL space, and nodes cooperate exactly as the paper prescribes —
+//! a local miss consults the document's beacon point, fetches from a peer
+//! holder when one exists, and registers stored copies back at the beacon;
+//! the origin pushes one update per cloud to the beacon, which fans it out
+//! to the holders.
+//!
+//! The implementation is deliberately dependency-light: blocking sockets,
+//! one thread per connection (cache clouds are small by construction — the
+//! paper's biggest cloud has 50 caches), `parking_lot` locks and a compact
+//! hand-rolled wire format over `bytes`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cachecloud_cluster::cluster::LocalCluster;
+//!
+//! // Boot a 4-node cloud on loopback and exercise the protocol.
+//! let cluster = LocalCluster::spawn(4)?;
+//! let client = cluster.client();
+//! client.publish("/news", b"breaking".to_vec(), 1)?;
+//! let (body, version) = client.fetch("/news")?.expect("document exists");
+//! assert_eq!(body, b"breaking");
+//! assert_eq!(version, 1);
+//! cluster.shutdown();
+//! # Ok::<(), cachecloud_types::CacheCloudError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod node;
+pub mod route;
+pub mod wire;
+
+pub use client::CloudClient;
+pub use cluster::LocalCluster;
+pub use node::{CacheNode, NodeConfig};
+pub use route::RouteTable;
+pub use wire::{Request, Response};

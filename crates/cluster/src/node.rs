@@ -1,0 +1,530 @@
+//! A cache-cloud node: TCP server, local store, beacon directory, dynamic
+//! routing.
+//!
+//! Nodes route beacon duties through a shared [`RouteTable`] (the live
+//! counterpart of the paper's beacon rings). Every lookup and update the
+//! node handles as a beacon is recorded in a per-IrH load ledger; a
+//! coordinator (see [`crate::client::CloudClient::rebalance`]) collects the
+//! ledgers, runs the paper's sub-range determination, and installs a new
+//! table — at which point each node pushes the directory records it no
+//! longer owns to their new beacon points (`Adopt`).
+
+use std::collections::{HashMap, HashSet};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use cachecloud_storage::{CacheStore, LruPolicy};
+use cachecloud_types::{ByteSize, CacheCloudError, DocId, SimTime, Version};
+use parking_lot::{Mutex, RwLock};
+
+use crate::route::RouteTable;
+use crate::wire::{read_frame, write_frame, Request, Response};
+
+/// Configuration of one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's index within the cloud.
+    pub id: u32,
+    /// Addresses of every node in the cloud, indexed by node id (including
+    /// this node's own listen address).
+    pub peers: Vec<SocketAddr>,
+    /// Local store capacity.
+    pub capacity: ByteSize,
+    /// Beacon points per ring in the initial routing table (must divide
+    /// the node count evenly).
+    pub points_per_ring: usize,
+    /// Intra-ring hash generator.
+    pub irh_gen: u64,
+}
+
+impl NodeConfig {
+    /// A configuration with the paper's defaults: 2-point rings,
+    /// IrHGen = 1024.
+    pub fn new(id: u32, peers: Vec<SocketAddr>, capacity: ByteSize) -> Self {
+        let points_per_ring = if peers.len().is_multiple_of(2) && peers.len() >= 2 {
+            2
+        } else {
+            1
+        };
+        NodeConfig {
+            id,
+            peers,
+            capacity,
+            points_per_ring,
+            irh_gen: 1024,
+        }
+    }
+}
+
+/// One document body plus its version.
+#[derive(Debug, Clone)]
+struct Body {
+    version: u64,
+    data: Bytes,
+}
+
+/// One beacon-directory record.
+#[derive(Debug, Clone, Default)]
+struct DirEntry {
+    version: u64,
+    holders: HashSet<u32>,
+}
+
+/// Shared node state.
+#[derive(Debug)]
+struct State {
+    /// Document bodies (the `CacheStore` tracks metadata/eviction).
+    bodies: Mutex<HashMap<String, Body>>,
+    /// Metadata store driving capacity and replacement.
+    store: Mutex<CacheStore>,
+    /// Beacon directory for the URL ranges this node currently owns.
+    directory: Mutex<HashMap<String, DirEntry>>,
+    /// The cloud's routing table (all nodes converge on the same one).
+    table: RwLock<RouteTable>,
+    /// Per-(ring, IrH) beacon load handled this cycle.
+    loads: Mutex<HashMap<(u32, u64), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl State {
+    fn beacon_of(&self, url: &str) -> u32 {
+        self.table.read().beacon_of_url(url)
+    }
+
+    fn note_beacon_load(&self, url: &str) {
+        let doc = DocId::from_url(url);
+        let table = self.table.read();
+        let key = (table.ring_of(&doc) as u32, table.irh_of(&doc));
+        drop(table);
+        *self.loads.lock().entry(key).or_insert(0.0) += 1.0;
+    }
+}
+
+/// A running cache-cloud node.
+///
+/// Listens on a TCP socket, serves the wire protocol, and cooperates with
+/// its peers: `Serve` walks the full local-store → beacon → peer-holder
+/// path, `Update` fans a new version out to every registered holder, and
+/// `SetRanges` migrates beacon responsibilities live.
+#[derive(Debug)]
+pub struct CacheNode {
+    config: NodeConfig,
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CacheNode {
+    /// Binds and starts a node. `listen` may use port 0 to pick an
+    /// ephemeral port; the bound address is available via
+    /// [`CacheNode::addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start(config: NodeConfig, listen: SocketAddr) -> Result<Self, CacheCloudError> {
+        let listener = TcpListener::bind(listen)?;
+        Self::start_on(config, listener)
+    }
+
+    /// Starts a node on an already-bound listener. `LocalCluster` binds all
+    /// listeners first so every node can start with the complete peer
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start_on(config: NodeConfig, listener: TcpListener) -> Result<Self, CacheCloudError> {
+        let addr = listener.local_addr()?;
+        let table = RouteTable::initial(
+            config.peers.len(),
+            config.points_per_ring,
+            config.irh_gen,
+        );
+        let state = Arc::new(State {
+            bodies: Mutex::new(HashMap::new()),
+            store: Mutex::new(CacheStore::new(config.capacity, Box::new(LruPolicy::new()))),
+            directory: Mutex::new(HashMap::new()),
+            table: RwLock::new(table),
+            loads: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let thread_state = Arc::clone(&state);
+        let thread_config = config.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("ccnode-{}", config.id))
+            .spawn(move || accept_loop(listener, thread_state, thread_config))
+            .map_err(|e| CacheCloudError::Io(e.to_string()))?;
+        Ok(CacheNode {
+            config,
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.config.id
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `accept` returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CacheNode {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, config: NodeConfig) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        let config = config.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("ccnode-{}-conn", config.id))
+            .spawn(move || {
+                let _ = serve_connection(stream, &state, &config);
+            });
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &State,
+    config: &NodeConfig,
+) -> Result<(), CacheCloudError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while let Some(frame) = read_frame(&mut reader)? {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let response = match Request::decode(frame) {
+            Ok(req) => handle(req, state, config),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+    Ok(())
+}
+
+fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats {
+            resident: state.store.lock().len() as u64,
+            directory_records: state
+                .directory
+                .lock()
+                .values()
+                .map(|e| e.holders.len() as u64)
+                .sum(),
+            hits: state.hits.load(Ordering::Relaxed),
+            misses: state.misses.load(Ordering::Relaxed),
+        },
+        Request::Lookup { url } => {
+            state.note_beacon_load(&url);
+            let dir = state.directory.lock();
+            match dir.get(&url) {
+                Some(entry) => {
+                    let mut hs: Vec<u32> = entry.holders.iter().copied().collect();
+                    hs.sort_unstable();
+                    Response::Holders {
+                        holders: hs,
+                        version: entry.version,
+                    }
+                }
+                None => Response::Holders {
+                    holders: Vec::new(),
+                    version: 0,
+                },
+            }
+        }
+        Request::Register { url, holder } => {
+            state
+                .directory
+                .lock()
+                .entry(url)
+                .or_default()
+                .holders
+                .insert(holder);
+            Response::Ok
+        }
+        Request::Unregister { url, holder } => {
+            let mut dir = state.directory.lock();
+            if let Some(entry) = dir.get_mut(&url) {
+                entry.holders.remove(&holder);
+                if entry.holders.is_empty() {
+                    dir.remove(&url);
+                }
+            }
+            Response::Ok
+        }
+        Request::Get { url } => match state.bodies.lock().get(&url) {
+            Some(body) => {
+                state.hits.fetch_add(1, Ordering::Relaxed);
+                Response::Document {
+                    version: body.version,
+                    body: body.data.clone(),
+                }
+            }
+            None => {
+                state.misses.fetch_add(1, Ordering::Relaxed);
+                Response::NotFound
+            }
+        },
+        Request::Put { url, version, body } => put_local(state, config, url, version, body),
+        Request::Serve { url } => serve_cooperative(state, config, url),
+        Request::Update { url, version, body } => {
+            state.note_beacon_load(&url);
+            // This node is (expected to be) the beacon: deliver the new
+            // body to every registered holder, including itself.
+            let holders: Vec<u32> = {
+                let mut dir = state.directory.lock();
+                let entry = dir.entry(url.clone()).or_default();
+                if version > entry.version {
+                    entry.version = version;
+                }
+                entry.holders.iter().copied().collect()
+            };
+            for h in holders {
+                if h == config.id {
+                    put_local(state, config, url.clone(), version, body.clone());
+                } else if let Some(addr) = config.peers.get(h as usize) {
+                    let _ = rpc(
+                        *addr,
+                        &Request::Put {
+                            url: url.clone(),
+                            version,
+                            body: body.clone(),
+                        },
+                    );
+                }
+            }
+            Response::Ok
+        }
+        Request::GetLoad => {
+            let mut loads = state.loads.lock();
+            let entries = loads
+                .drain()
+                .map(|((ring, irh), load)| (ring, irh, load))
+                .collect();
+            Response::Load { entries }
+        }
+        Request::GetTable => Response::Table {
+            table: state.table.read().clone(),
+        },
+        Request::SetRanges { table } => {
+            if table.validate().is_err() {
+                return Response::Error {
+                    message: "invalid route table".into(),
+                };
+            }
+            {
+                let current = state.table.read();
+                if table.version <= current.version {
+                    return Response::Ok; // stale or duplicate install
+                }
+            }
+            // Install, then migrate the records this node no longer owns.
+            *state.table.write() = table.clone();
+            let to_move: Vec<(String, DirEntry)> = {
+                let mut dir = state.directory.lock();
+                let moving: Vec<String> = dir
+                    .keys()
+                    .filter(|url| table.beacon_of_url(url) != config.id)
+                    .cloned()
+                    .collect();
+                moving
+                    .into_iter()
+                    .filter_map(|url| dir.remove_entry(&url))
+                    .collect()
+            };
+            for (url, entry) in to_move {
+                let new_owner = table.beacon_of_url(&url);
+                if let Some(addr) = config.peers.get(new_owner as usize) {
+                    let _ = rpc(
+                        *addr,
+                        &Request::Adopt {
+                            url,
+                            version: entry.version,
+                            holders: entry.holders.iter().copied().collect(),
+                        },
+                    );
+                }
+            }
+            Response::Ok
+        }
+        Request::Adopt {
+            url,
+            version,
+            holders,
+        } => {
+            let mut dir = state.directory.lock();
+            let entry = dir.entry(url).or_default();
+            entry.version = entry.version.max(version);
+            entry.holders.extend(holders);
+            Response::Ok
+        }
+    }
+}
+
+/// Stores a body locally, maintaining the metadata store and deregistering
+/// evicted documents at their beacons.
+fn put_local(
+    state: &State,
+    config: &NodeConfig,
+    url: String,
+    version: u64,
+    body: Bytes,
+) -> Response {
+    let size = ByteSize::from_bytes(body.len().max(1) as u64);
+    let evicted = {
+        let mut store = state.store.lock();
+        match store.insert(DocId::from_url(&url), size, Version(version), SimTime::ZERO) {
+            Ok(ev) => ev,
+            Err(e) => {
+                return Response::Error {
+                    message: e.to_string(),
+                }
+            }
+        }
+    };
+    {
+        let mut bodies = state.bodies.lock();
+        for victim in &evicted {
+            bodies.remove(victim.url());
+        }
+        bodies.insert(url.clone(), Body { version, data: body });
+    }
+    // Deregister evicted copies at their beacon points.
+    for victim in evicted {
+        let b = state.beacon_of(victim.url());
+        let req = Request::Unregister {
+            url: victim.url().to_owned(),
+            holder: config.id,
+        };
+        if b == config.id {
+            let _ = handle(req, state, config);
+        } else if let Some(addr) = config.peers.get(b as usize) {
+            let _ = rpc(*addr, &req);
+        }
+    }
+    // Register this copy at the document's beacon.
+    let b = state.beacon_of(&url);
+    let reg = Request::Register {
+        url,
+        holder: config.id,
+    };
+    if b == config.id {
+        handle(reg, state, config)
+    } else if let Some(addr) = config.peers.get(b as usize) {
+        match rpc(*addr, &reg) {
+            Ok(r) => r,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    } else {
+        Response::Error {
+            message: "beacon address unknown".into(),
+        }
+    }
+}
+
+/// The full cooperative read path.
+fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Response {
+    // 1. Local store.
+    if let Some(body) = state.bodies.lock().get(&url) {
+        state.hits.fetch_add(1, Ordering::Relaxed);
+        return Response::Document {
+            version: body.version,
+            body: body.data.clone(),
+        };
+    }
+    state.misses.fetch_add(1, Ordering::Relaxed);
+
+    // 2. Beacon lookup.
+    let b = state.beacon_of(&url);
+    let lookup = Request::Lookup { url: url.clone() };
+    let holders = if b == config.id {
+        handle(lookup, state, config)
+    } else {
+        match config.peers.get(b as usize).map(|a| rpc(*a, &lookup)) {
+            Some(Ok(r)) => r,
+            _ => {
+                return Response::Error {
+                    message: "beacon unreachable".into(),
+                }
+            }
+        }
+    };
+    let Response::Holders { holders, .. } = holders else {
+        return Response::Error {
+            message: "unexpected beacon response".into(),
+        };
+    };
+
+    // 3. Fetch from the first reachable holder, store, and serve.
+    for h in holders {
+        if h == config.id {
+            continue;
+        }
+        let Some(addr) = config.peers.get(h as usize) else {
+            continue;
+        };
+        if let Ok(Response::Document { version, body }) =
+            rpc(*addr, &Request::Get { url: url.clone() })
+        {
+            put_local(state, config, url.clone(), version, body.clone());
+            return Response::Document { version, body };
+        }
+    }
+    Response::NotFound
+}
+
+/// One blocking request/response exchange with a peer.
+pub(crate) fn rpc(addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, &req.encode())?;
+    match read_frame(&mut reader)? {
+        Some(frame) => Response::decode(frame),
+        None => Err(CacheCloudError::Protocol(
+            "connection closed before response".into(),
+        )),
+    }
+}

@@ -1,0 +1,309 @@
+//! The cluster's routing state: which node is the beacon point for which
+//! intra-ring hash values.
+//!
+//! This is the live-cluster counterpart of
+//! [`cachecloud_hashing::DynamicHashing`]: nodes are grouped into beacon
+//! rings, a document maps to a ring by a remixed hash and to a beacon point
+//! by its IrH value, and a coordinator redistributes the per-ring
+//! sub-ranges from measured load (see [`crate::client::CloudClient::rebalance`]).
+//! Every node holds a copy of the current [`RouteTable`]; tables carry a
+//! version so stale ones are recognizably older.
+//!
+//! The *initial* table is a pure function of the membership size, so nodes
+//! agree on it without any coordination.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cachecloud_types::{CacheCloudError, DocId};
+
+/// One beacon point's slice of a ring: `[lo, hi]` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// Owning node id.
+    pub node: u32,
+    /// First IrH value (inclusive).
+    pub lo: u64,
+    /// Last IrH value (inclusive).
+    pub hi: u64,
+}
+
+/// The full routing state of a cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    /// Monotone table version; higher wins.
+    pub version: u64,
+    /// Intra-ring hash generator.
+    pub irh_gen: u64,
+    /// Per-ring contiguous sub-ranges, in ring order. Each ring's entries
+    /// tile `[0, irh_gen)`.
+    pub rings: Vec<Vec<RangeEntry>>,
+}
+
+impl RouteTable {
+    /// The deterministic initial table for `nodes` nodes in rings of
+    /// `points_per_ring`, with each ring's IrH space split evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`, `points_per_ring == 0`, or the nodes do not
+    /// divide evenly into rings.
+    pub fn initial(nodes: usize, points_per_ring: usize, irh_gen: u64) -> Self {
+        assert!(nodes > 0 && points_per_ring > 0, "non-empty cluster");
+        assert!(
+            nodes.is_multiple_of(points_per_ring),
+            "{nodes} nodes cannot form rings of {points_per_ring}"
+        );
+        let num_rings = nodes / points_per_ring;
+        assert!(irh_gen >= points_per_ring as u64, "generator too small");
+        let rings = (0..num_rings)
+            .map(|r| {
+                // Ring r holds nodes r, r + R, r + 2R, … (round-robin, like
+                // the simulator's DynamicHashing).
+                let members: Vec<u32> =
+                    (0..points_per_ring).map(|k| (r + k * num_rings) as u32).collect();
+                let base = irh_gen / points_per_ring as u64;
+                let extra = irh_gen % points_per_ring as u64;
+                let mut lo = 0u64;
+                members
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, node)| {
+                        let width = base + u64::from((i as u64) < extra);
+                        let e = RangeEntry {
+                            node,
+                            lo,
+                            hi: lo + width - 1,
+                        };
+                        lo += width;
+                        e
+                    })
+                    .collect()
+            })
+            .collect();
+        RouteTable {
+            version: 0,
+            irh_gen,
+            rings,
+        }
+    }
+
+    /// Number of rings.
+    pub fn num_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The ring a document maps to (remixed so ring index and IrH value do
+    /// not alias when the ring count divides the generator).
+    pub fn ring_of(&self, doc: &DocId) -> usize {
+        let mixed = doc
+            .hash_u64()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_right(23);
+        (mixed % self.rings.len() as u64) as usize
+    }
+
+    /// The document's intra-ring hash value.
+    pub fn irh_of(&self, doc: &DocId) -> u64 {
+        doc.hash_mod(self.irh_gen)
+    }
+
+    /// The node currently serving as beacon point for `doc`.
+    pub fn beacon_of(&self, doc: &DocId) -> u32 {
+        let ring = &self.rings[self.ring_of(doc)];
+        let irh = self.irh_of(doc);
+        ring.iter()
+            .find(|e| (e.lo..=e.hi).contains(&irh))
+            .expect("ring ranges tile the IrH domain")
+            .node
+    }
+
+    /// The node currently serving as beacon point for a raw URL.
+    pub fn beacon_of_url(&self, url: &str) -> u32 {
+        self.beacon_of(&DocId::from_url(url))
+    }
+
+    /// Validates tiling and returns an error description on corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheCloudError::Protocol`] when a ring's ranges do not tile
+    /// `[0, irh_gen)`.
+    pub fn validate(&self) -> Result<(), CacheCloudError> {
+        if self.rings.is_empty() {
+            return Err(CacheCloudError::Protocol("route table has no rings".into()));
+        }
+        for (r, ring) in self.rings.iter().enumerate() {
+            let mut expect = 0u64;
+            for e in ring {
+                if e.lo != expect || e.hi < e.lo {
+                    return Err(CacheCloudError::Protocol(format!(
+                        "ring {r} ranges do not tile: expected lo {expect}, got {e:?}"
+                    )));
+                }
+                expect = e.hi + 1;
+            }
+            if expect != self.irh_gen {
+                return Err(CacheCloudError::Protocol(format!(
+                    "ring {r} covers [0, {expect}) instead of [0, {})",
+                    self.irh_gen
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the table for the wire.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.version);
+        buf.put_u64(self.irh_gen);
+        buf.put_u32(self.rings.len() as u32);
+        for ring in &self.rings {
+            buf.put_u32(ring.len() as u32);
+            for e in ring {
+                buf.put_u32(e.node);
+                buf.put_u64(e.lo);
+                buf.put_u64(e.hi);
+            }
+        }
+    }
+
+    /// Deserializes a table from the wire and validates it.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheCloudError::Protocol`] on truncation or an invalid table.
+    pub fn decode(buf: &mut Bytes) -> Result<RouteTable, CacheCloudError> {
+        let need = |buf: &Bytes, n: usize| {
+            if buf.remaining() < n {
+                Err(CacheCloudError::Protocol("truncated route table".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(buf, 20)?;
+        let version = buf.get_u64();
+        let irh_gen = buf.get_u64();
+        let num_rings = buf.get_u32() as usize;
+        if num_rings > 4096 {
+            return Err(CacheCloudError::Protocol("absurd ring count".into()));
+        }
+        let mut rings = Vec::with_capacity(num_rings);
+        for _ in 0..num_rings {
+            need(buf, 4)?;
+            let n = buf.get_u32() as usize;
+            if n > 4096 {
+                return Err(CacheCloudError::Protocol("absurd ring size".into()));
+            }
+            let mut ring = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 20)?;
+                ring.push(RangeEntry {
+                    node: buf.get_u32(),
+                    lo: buf.get_u64(),
+                    hi: buf.get_u64(),
+                });
+            }
+            rings.push(ring);
+        }
+        let table = RouteTable {
+            version,
+            irh_gen,
+            rings,
+        };
+        table.validate()?;
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_table_tiles_and_validates() {
+        for (nodes, per_ring) in [(2usize, 2usize), (4, 2), (6, 3), (10, 2), (10, 5)] {
+            let t = RouteTable::initial(nodes, per_ring, 1000);
+            t.validate().unwrap();
+            assert_eq!(t.num_rings(), nodes / per_ring);
+            // Every node appears exactly once across all rings.
+            let mut seen: Vec<u32> = t
+                .rings
+                .iter()
+                .flat_map(|r| r.iter().map(|e| e.node))
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..nodes as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn beacon_resolution_is_total() {
+        let t = RouteTable::initial(6, 2, 100);
+        for i in 0..500 {
+            let b = t.beacon_of_url(&format!("/r/{i}"));
+            assert!(b < 6);
+        }
+    }
+
+    #[test]
+    fn nodes_agree_on_initial_table() {
+        assert_eq!(
+            RouteTable::initial(8, 2, 512),
+            RouteTable::initial(8, 2, 512)
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let t = RouteTable::initial(10, 5, 1000);
+        let mut buf = BytesMut::new();
+        t.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = RouteTable::decode(&mut bytes).unwrap();
+        assert_eq!(back, t);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_tables() {
+        let t = RouteTable::initial(4, 2, 100);
+        let mut buf = BytesMut::new();
+        t.encode(&mut buf);
+        // Truncate.
+        let mut short = buf.freeze().slice(0..10);
+        assert!(RouteTable::decode(&mut short).is_err());
+        // Non-tiling table.
+        let bad = RouteTable {
+            version: 1,
+            irh_gen: 100,
+            rings: vec![vec![RangeEntry {
+                node: 0,
+                lo: 0,
+                hi: 42,
+            }]],
+        };
+        assert!(bad.validate().is_err());
+        let mut buf = BytesMut::new();
+        bad.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(RouteTable::decode(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn ring_and_irh_do_not_alias() {
+        let t = RouteTable::initial(10, 2, 1000);
+        let mut residues = vec![std::collections::HashSet::new(); 5];
+        for i in 0..3000 {
+            let d = DocId::from_url(format!("/alias/{i}"));
+            residues[t.ring_of(&d)].insert(t.irh_of(&d) % 5);
+        }
+        for s in residues {
+            assert_eq!(s.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot form rings")]
+    fn uneven_rings_panic() {
+        let _ = RouteTable::initial(5, 2, 100);
+    }
+}

@@ -1,0 +1,633 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message is `u32` big-endian frame length followed by a tag byte and
+//! tag-specific fields. Strings and bodies are length-prefixed. The format
+//! is hand-rolled (no serde) so the frame layout is explicit and stable.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cachecloud_types::CacheCloudError;
+
+/// Frames larger than this are rejected (corrupt or hostile peers).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A request sent to a cache node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Beacon-point lookup: who holds `url`?
+    Lookup {
+        /// Document URL.
+        url: String,
+    },
+    /// Beacon-point registration of a stored copy.
+    Register {
+        /// Document URL.
+        url: String,
+        /// Node that now holds a copy.
+        holder: u32,
+    },
+    /// Beacon-point deregistration (copy evicted or dropped).
+    Unregister {
+        /// Document URL.
+        url: String,
+        /// Node that dropped its copy.
+        holder: u32,
+    },
+    /// Fetch a document from this node's local store only.
+    Get {
+        /// Document URL.
+        url: String,
+    },
+    /// The full cooperative read path: local store, then beacon lookup,
+    /// then peer fetch.
+    Serve {
+        /// Document URL.
+        url: String,
+    },
+    /// Store a document body at this node (also used for update delivery).
+    Put {
+        /// Document URL.
+        url: String,
+        /// Version of the body.
+        version: u64,
+        /// The document body.
+        body: Bytes,
+    },
+    /// Origin-side update: deliver to the beacon, which fans out to all
+    /// registered holders.
+    Update {
+        /// Document URL.
+        url: String,
+        /// New version.
+        version: u64,
+        /// New body.
+        body: Bytes,
+    },
+    /// Node statistics.
+    Stats,
+    /// Coordinator: read and reset the node's per-IrH beacon-load ledger.
+    GetLoad,
+    /// Coordinator: install a new routing table (directory records whose
+    /// IrH values moved away are pushed to their new owners).
+    SetRanges {
+        /// The new table; applied only if its version is newer.
+        table: crate::route::RouteTable,
+    },
+    /// Read the node's current routing table.
+    GetTable,
+    /// Hand over a beacon directory record after a sub-range move.
+    Adopt {
+        /// Document URL.
+        url: String,
+        /// Latest version the previous beacon had seen.
+        version: u64,
+        /// Registered holders of the document.
+        holders: Vec<u32>,
+    },
+}
+
+/// A response from a cache node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// Generic success.
+    Ok,
+    /// Holder list from a beacon point.
+    Holders {
+        /// Nodes currently holding the document.
+        holders: Vec<u32>,
+        /// Latest version the beacon has seen.
+        version: u64,
+    },
+    /// A document body.
+    Document {
+        /// Version of the returned body.
+        version: u64,
+        /// The body.
+        body: Bytes,
+    },
+    /// The document is not available.
+    NotFound,
+    /// Node statistics.
+    Stats {
+        /// Documents resident in the local store.
+        resident: u64,
+        /// Directory records this node maintains as a beacon.
+        directory_records: u64,
+        /// Local store hits served.
+        hits: u64,
+        /// Local misses seen.
+        misses: u64,
+    },
+    /// A protocol-level failure.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The node's per-IrH beacon-load ledger: `(ring, irh, load)` entries.
+    Load {
+        /// Non-zero ledger entries.
+        entries: Vec<(u32, u64, f64)>,
+    },
+    /// The node's current routing table.
+    Table {
+        /// The table.
+        table: crate::route::RouteTable,
+    },
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn take_str(buf: &mut Bytes) -> Result<String, CacheCloudError> {
+    let raw = take_bytes(buf)?;
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| CacheCloudError::Protocol("invalid utf-8 in string field".into()))
+}
+
+fn take_bytes(buf: &mut Bytes) -> Result<Bytes, CacheCloudError> {
+    if buf.remaining() < 4 {
+        return Err(CacheCloudError::Protocol("truncated length prefix".into()));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(CacheCloudError::Protocol("truncated field body".into()));
+    }
+    Ok(buf.split_to(len))
+}
+
+fn take_u64(buf: &mut Bytes) -> Result<u64, CacheCloudError> {
+    if buf.remaining() < 8 {
+        return Err(CacheCloudError::Protocol("truncated u64".into()));
+    }
+    Ok(buf.get_u64())
+}
+
+fn take_u32(buf: &mut Bytes) -> Result<u32, CacheCloudError> {
+    if buf.remaining() < 4 {
+        return Err(CacheCloudError::Protocol("truncated u32".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+impl Request {
+    /// Encodes the request body (without the outer frame length).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Request::Ping => b.put_u8(0),
+            Request::Lookup { url } => {
+                b.put_u8(1);
+                put_str(&mut b, url);
+            }
+            Request::Register { url, holder } => {
+                b.put_u8(2);
+                put_str(&mut b, url);
+                b.put_u32(*holder);
+            }
+            Request::Unregister { url, holder } => {
+                b.put_u8(3);
+                put_str(&mut b, url);
+                b.put_u32(*holder);
+            }
+            Request::Get { url } => {
+                b.put_u8(4);
+                put_str(&mut b, url);
+            }
+            Request::Serve { url } => {
+                b.put_u8(5);
+                put_str(&mut b, url);
+            }
+            Request::Put { url, version, body } => {
+                b.put_u8(6);
+                put_str(&mut b, url);
+                b.put_u64(*version);
+                put_bytes(&mut b, body);
+            }
+            Request::Update { url, version, body } => {
+                b.put_u8(7);
+                put_str(&mut b, url);
+                b.put_u64(*version);
+                put_bytes(&mut b, body);
+            }
+            Request::Stats => b.put_u8(8),
+            Request::GetLoad => b.put_u8(9),
+            Request::SetRanges { table } => {
+                b.put_u8(10);
+                table.encode(&mut b);
+            }
+            Request::GetTable => b.put_u8(11),
+            Request::Adopt {
+                url,
+                version,
+                holders,
+            } => {
+                b.put_u8(12);
+                put_str(&mut b, url);
+                b.put_u64(*version);
+                b.put_u32(holders.len() as u32);
+                for h in holders {
+                    b.put_u32(*h);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheCloudError::Protocol`] on truncation, trailing garbage or an
+    /// unknown tag.
+    pub fn decode(mut buf: Bytes) -> Result<Request, CacheCloudError> {
+        if buf.is_empty() {
+            return Err(CacheCloudError::Protocol("empty request frame".into()));
+        }
+        let tag = buf.get_u8();
+        let req = match tag {
+            0 => Request::Ping,
+            1 => Request::Lookup {
+                url: take_str(&mut buf)?,
+            },
+            2 => Request::Register {
+                url: take_str(&mut buf)?,
+                holder: take_u32(&mut buf)?,
+            },
+            3 => Request::Unregister {
+                url: take_str(&mut buf)?,
+                holder: take_u32(&mut buf)?,
+            },
+            4 => Request::Get {
+                url: take_str(&mut buf)?,
+            },
+            5 => Request::Serve {
+                url: take_str(&mut buf)?,
+            },
+            6 => Request::Put {
+                url: take_str(&mut buf)?,
+                version: take_u64(&mut buf)?,
+                body: take_bytes(&mut buf)?,
+            },
+            7 => Request::Update {
+                url: take_str(&mut buf)?,
+                version: take_u64(&mut buf)?,
+                body: take_bytes(&mut buf)?,
+            },
+            8 => Request::Stats,
+            9 => Request::GetLoad,
+            10 => Request::SetRanges {
+                table: crate::route::RouteTable::decode(&mut buf)?,
+            },
+            11 => Request::GetTable,
+            12 => {
+                let url = take_str(&mut buf)?;
+                let version = take_u64(&mut buf)?;
+                let n = take_u32(&mut buf)? as usize;
+                if n > MAX_FRAME / 4 {
+                    return Err(CacheCloudError::Protocol("holder list too long".into()));
+                }
+                let mut holders = Vec::with_capacity(n);
+                for _ in 0..n {
+                    holders.push(take_u32(&mut buf)?);
+                }
+                Request::Adopt {
+                    url,
+                    version,
+                    holders,
+                }
+            }
+            t => {
+                return Err(CacheCloudError::Protocol(format!(
+                    "unknown request tag {t}"
+                )))
+            }
+        };
+        if buf.has_remaining() {
+            return Err(CacheCloudError::Protocol(
+                "trailing bytes after request".into(),
+            ));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response body (without the outer frame length).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Response::Pong => b.put_u8(0),
+            Response::Ok => b.put_u8(1),
+            Response::Holders { holders, version } => {
+                b.put_u8(2);
+                b.put_u32(holders.len() as u32);
+                for h in holders {
+                    b.put_u32(*h);
+                }
+                b.put_u64(*version);
+            }
+            Response::Document { version, body } => {
+                b.put_u8(3);
+                b.put_u64(*version);
+                put_bytes(&mut b, body);
+            }
+            Response::NotFound => b.put_u8(4),
+            Response::Stats {
+                resident,
+                directory_records,
+                hits,
+                misses,
+            } => {
+                b.put_u8(5);
+                b.put_u64(*resident);
+                b.put_u64(*directory_records);
+                b.put_u64(*hits);
+                b.put_u64(*misses);
+            }
+            Response::Error { message } => {
+                b.put_u8(6);
+                put_str(&mut b, message);
+            }
+            Response::Load { entries } => {
+                b.put_u8(7);
+                b.put_u32(entries.len() as u32);
+                for (ring, irh, load) in entries {
+                    b.put_u32(*ring);
+                    b.put_u64(*irh);
+                    b.put_u64(load.to_bits());
+                }
+            }
+            Response::Table { table } => {
+                b.put_u8(8);
+                table.encode(&mut b);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decodes a response body.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheCloudError::Protocol`] on truncation, trailing garbage or an
+    /// unknown tag.
+    pub fn decode(mut buf: Bytes) -> Result<Response, CacheCloudError> {
+        if buf.is_empty() {
+            return Err(CacheCloudError::Protocol("empty response frame".into()));
+        }
+        let tag = buf.get_u8();
+        let resp = match tag {
+            0 => Response::Pong,
+            1 => Response::Ok,
+            2 => {
+                let n = take_u32(&mut buf)? as usize;
+                if n > MAX_FRAME / 4 {
+                    return Err(CacheCloudError::Protocol("holder list too long".into()));
+                }
+                let mut holders = Vec::with_capacity(n);
+                for _ in 0..n {
+                    holders.push(take_u32(&mut buf)?);
+                }
+                Response::Holders {
+                    holders,
+                    version: take_u64(&mut buf)?,
+                }
+            }
+            3 => Response::Document {
+                version: take_u64(&mut buf)?,
+                body: take_bytes(&mut buf)?,
+            },
+            4 => Response::NotFound,
+            5 => Response::Stats {
+                resident: take_u64(&mut buf)?,
+                directory_records: take_u64(&mut buf)?,
+                hits: take_u64(&mut buf)?,
+                misses: take_u64(&mut buf)?,
+            },
+            6 => Response::Error {
+                message: take_str(&mut buf)?,
+            },
+            7 => {
+                let n = take_u32(&mut buf)? as usize;
+                if n > MAX_FRAME / 20 {
+                    return Err(CacheCloudError::Protocol("load ledger too long".into()));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ring = take_u32(&mut buf)?;
+                    let irh = take_u64(&mut buf)?;
+                    let load = f64::from_bits(take_u64(&mut buf)?);
+                    entries.push((ring, irh, load));
+                }
+                Response::Load { entries }
+            }
+            8 => Response::Table {
+                table: crate::route::RouteTable::decode(&mut buf)?,
+            },
+            t => {
+                return Err(CacheCloudError::Protocol(format!(
+                    "unknown response tag {t}"
+                )))
+            }
+        };
+        if buf.has_remaining() {
+            return Err(CacheCloudError::Protocol(
+                "trailing bytes after response".into(),
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one framed message to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects bodies larger than [`MAX_FRAME`].
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), CacheCloudError> {
+    if body.len() > MAX_FRAME {
+        return Err(CacheCloudError::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+            body.len()
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from `r`. Returns `None` on clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects frames larger than [`MAX_FRAME`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Bytes>, CacheCloudError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(CacheCloudError::Protocol(format!(
+            "incoming frame of {len} bytes exceeds the limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(Bytes::from(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let decoded = Request::decode(req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let decoded = Response::decode(resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Lookup { url: "/a".into() });
+        roundtrip_request(Request::Register {
+            url: "/a".into(),
+            holder: 7,
+        });
+        roundtrip_request(Request::Unregister {
+            url: "/δ/unicode".into(),
+            holder: 0,
+        });
+        roundtrip_request(Request::Get { url: String::new() });
+        roundtrip_request(Request::Serve { url: "/s".into() });
+        roundtrip_request(Request::Put {
+            url: "/p".into(),
+            version: u64::MAX,
+            body: Bytes::from_static(b"\x00\x01\x02"),
+        });
+        roundtrip_request(Request::Update {
+            url: "/u".into(),
+            version: 3,
+            body: Bytes::new(),
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::GetLoad);
+        roundtrip_request(Request::GetTable);
+        roundtrip_request(Request::SetRanges {
+            table: crate::route::RouteTable::initial(4, 2, 100),
+        });
+        roundtrip_request(Request::Adopt {
+            url: "/adopt".into(),
+            version: 42,
+            holders: vec![0, 3, 1],
+        });
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Holders {
+            holders: vec![1, 2, 3],
+            version: 9,
+        });
+        roundtrip_response(Response::Holders {
+            holders: vec![],
+            version: 0,
+        });
+        roundtrip_response(Response::Document {
+            version: 5,
+            body: Bytes::from(vec![9u8; 10_000]),
+        });
+        roundtrip_response(Response::NotFound);
+        roundtrip_response(Response::Stats {
+            resident: 1,
+            directory_records: 2,
+            hits: 3,
+            misses: 4,
+        });
+        roundtrip_response(Response::Error {
+            message: "boom".into(),
+        });
+        roundtrip_response(Response::Load {
+            entries: vec![(0, 17, 3.5), (1, 999, 0.25)],
+        });
+        roundtrip_response(Response::Load { entries: vec![] });
+        roundtrip_response(Response::Table {
+            table: crate::route::RouteTable::initial(10, 5, 1000),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(Bytes::new()).is_err());
+        assert!(Request::decode(Bytes::from_static(&[99])).is_err());
+        assert!(Response::decode(Bytes::from_static(&[99])).is_err());
+        // Truncated string length.
+        assert!(Request::decode(Bytes::from_static(&[1, 0, 0])).is_err());
+        // Length prefix longer than payload.
+        assert!(Request::decode(Bytes::from_static(&[1, 0, 0, 0, 9, b'x'])).is_err());
+        // Trailing garbage.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&Request::Ping.encode());
+        buf.put_u8(0xFF);
+        assert!(Request::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Lookup { url: "/x".into() }.encode()).unwrap();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let f1 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            Request::decode(f1).unwrap(),
+            Request::Lookup { url: "/x".into() }
+        );
+        let f2 = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::decode(f2).unwrap(), Request::Stats);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_rejected_on_both_sides() {
+        let big = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &big).is_err());
+        let mut header = Vec::new();
+        header.extend_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(header);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_body_is_an_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_be_bytes());
+        wire.extend_from_slice(b"shrt");
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! One edge cache: its store plus its local access-rate monitoring.
+
+use cachecloud_placement::RateMonitor;
+use cachecloud_storage::{CacheStore, ReplacementPolicy};
+use cachecloud_types::{ByteSize, CacheId, SimDuration, SimTime};
+
+/// A single exponentially decayed counter — the cache-level aggregate access
+/// rate backing the AFC component's "mean access rate of resident
+/// documents" in O(1) per event.
+#[derive(Debug, Clone)]
+pub(crate) struct DecayedRate {
+    lambda_per_us: f64,
+    value: f64,
+    last: SimTime,
+}
+
+impl DecayedRate {
+    pub(crate) fn new(half_life: SimDuration) -> Self {
+        assert!(!half_life.is_zero(), "half-life must be non-zero");
+        DecayedRate {
+            lambda_per_us: std::f64::consts::LN_2 / half_life.as_micros() as f64,
+            value: 0.0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    pub(crate) fn record(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_micros() as f64;
+        self.value = self.value * (-self.lambda_per_us * dt).exp() + 1.0;
+        self.last = now;
+    }
+
+    /// Events per minute.
+    pub(crate) fn rate_per_minute(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last).as_micros() as f64;
+        self.value * (-self.lambda_per_us * dt).exp() * self.lambda_per_us * 60e6
+    }
+}
+
+/// An edge cache participating in a cloud: a bounded document store plus the
+/// "continued monitoring" of local request patterns the utility-based
+/// placement relies on (paper §3.1).
+#[derive(Debug)]
+pub struct EdgeCache {
+    id: CacheId,
+    store: CacheStore,
+    /// Per-document local access rates.
+    monitor: RateMonitor,
+    /// Aggregate access rate at this cache.
+    aggregate: DecayedRate,
+    /// Requests served by this cache (hits + misses).
+    requests: u64,
+    /// Requests answered from the local store.
+    local_hits: u64,
+}
+
+impl EdgeCache {
+    /// Creates a cache with the given capacity, replacement policy and
+    /// monitor half-life.
+    pub fn new(
+        id: CacheId,
+        capacity: ByteSize,
+        replacement: Box<dyn ReplacementPolicy>,
+        monitor_half_life: SimDuration,
+    ) -> Self {
+        EdgeCache {
+            id,
+            store: CacheStore::new(capacity, replacement),
+            monitor: RateMonitor::new(monitor_half_life),
+            aggregate: DecayedRate::new(monitor_half_life),
+            requests: 0,
+            local_hits: 0,
+        }
+    }
+
+    /// The cache's identifier.
+    pub fn id(&self) -> CacheId {
+        self.id
+    }
+
+    /// The document store.
+    pub fn store(&self) -> &CacheStore {
+        &self.store
+    }
+
+    /// Exclusive access to the document store.
+    pub fn store_mut(&mut self) -> &mut CacheStore {
+        &mut self.store
+    }
+
+    /// The per-document access-rate monitor.
+    pub fn monitor(&self) -> &RateMonitor {
+        &self.monitor
+    }
+
+    /// Exclusive access to the monitor.
+    pub fn monitor_mut(&mut self) -> &mut RateMonitor {
+        &mut self.monitor
+    }
+
+    /// Records an incoming client request for `doc` and returns whether it
+    /// was a local hit.
+    pub fn record_request(
+        &mut self,
+        doc: &cachecloud_types::DocId,
+        now: SimTime,
+    ) -> bool {
+        self.requests += 1;
+        self.monitor.record(doc, now);
+        self.aggregate.record(now);
+        if self.store.access(doc, now).is_some() {
+            self.local_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The document's local access rate, events/minute.
+    pub fn access_rate(&self, doc: &cachecloud_types::DocId, now: SimTime) -> f64 {
+        self.monitor.rate_per_minute(doc, now)
+    }
+
+    /// Mean access rate per resident document, events/minute — the AFC
+    /// baseline. Approximated as the cache's aggregate request rate divided
+    /// by the resident document count.
+    pub fn mean_access_rate(&self, now: SimTime) -> f64 {
+        let n = self.store.len().max(1) as f64;
+        self.aggregate.rate_per_minute(now) / n
+    }
+
+    /// Requests received so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests served from the local store.
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecloud_storage::LruPolicy;
+    use cachecloud_types::{DocId, Version};
+
+    fn cache() -> EdgeCache {
+        EdgeCache::new(
+            CacheId(0),
+            ByteSize::from_kib(64),
+            Box::new(LruPolicy::new()),
+            SimDuration::from_minutes(10),
+        )
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn request_miss_then_hit() {
+        let mut c = cache();
+        let d = DocId::from_url("/a");
+        assert!(!c.record_request(&d, t(1)));
+        c.store_mut()
+            .insert(d.clone(), ByteSize::from_bytes(100), Version(0), t(1))
+            .unwrap();
+        assert!(c.record_request(&d, t(2)));
+        assert_eq!(c.requests(), 2);
+        assert_eq!(c.local_hits(), 1);
+    }
+
+    #[test]
+    fn access_rate_reflects_traffic() {
+        let mut c = cache();
+        let hot = DocId::from_url("/hot");
+        let cold = DocId::from_url("/cold");
+        let mut now = SimTime::ZERO;
+        for i in 0..600 {
+            now = t(i);
+            c.record_request(&hot, now);
+            if i % 30 == 0 {
+                c.record_request(&cold, now);
+            }
+        }
+        assert!(c.access_rate(&hot, now) > 5.0 * c.access_rate(&cold, now));
+    }
+
+    #[test]
+    fn mean_access_rate_divides_by_residents() {
+        let mut c = cache();
+        let d = DocId::from_url("/a");
+        for i in 0..300 {
+            c.record_request(&d, t(i));
+        }
+        let single = c.mean_access_rate(t(300));
+        // Insert 9 more documents: the per-document mean drops 10×.
+        for i in 0..10 {
+            c.store_mut()
+                .insert(
+                    DocId::from_url(format!("/f/{i}")),
+                    ByteSize::from_bytes(10),
+                    Version(0),
+                    t(300),
+                )
+                .unwrap();
+        }
+        let spread = c.mean_access_rate(t(300));
+        assert!((single / spread - 10.0).abs() < 0.5, "{single} / {spread}");
+    }
+
+    #[test]
+    fn decayed_rate_tracks_poisson_rate() {
+        let mut r = DecayedRate::new(SimDuration::from_minutes(5));
+        let mut now = SimTime::ZERO;
+        // 20 events/minute.
+        for _ in 0..2000 {
+            now += SimDuration::from_secs(3);
+            r.record(now);
+        }
+        let est = r.rate_per_minute(now);
+        assert!((est - 20.0).abs() < 2.0, "est {est}");
+    }
+}

@@ -1,0 +1,779 @@
+//! The cache cloud protocol engine: miss handling, update propagation and
+//! per-cycle rebalancing.
+
+use cachecloud_hashing::BeaconAssigner;
+use cachecloud_net::{MessageKind, TrafficMeter};
+use cachecloud_placement::{PlacementContext, PlacementPolicy};
+use cachecloud_sim::SimRng;
+use cachecloud_types::{ByteSize, CacheId, SimDuration, SimTime, Version};
+use cachecloud_workload::DocumentSpec;
+
+use crate::cache::EdgeCache;
+use crate::config::{CloudConfig, ConsistencyModel};
+use crate::directory::CloudDirectory;
+
+/// Protocol counters of one cloud.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CloudStats {
+    /// Client requests handled.
+    pub requests: u64,
+    /// Requests answered from the receiving cache's own store.
+    pub local_hits: u64,
+    /// Local misses served by a peer cache in the cloud.
+    pub cloud_hits: u64,
+    /// Group misses served by the origin.
+    pub origin_fetches: u64,
+    /// Update notices the cloud accepted (it held at least one copy, or the
+    /// origin always notifies).
+    pub updates_propagated: u64,
+    /// Update notices skipped because the cloud held no copy.
+    pub updates_skipped: u64,
+    /// Update deliveries fanned out to holders.
+    pub update_deliveries: u64,
+    /// Retrieved copies stored by the placement policy.
+    pub stores: u64,
+    /// Retrieved copies dropped by the placement policy.
+    pub drops: u64,
+    /// Directory records moved by sub-range handoffs.
+    pub handoff_records: u64,
+    /// Rebalancing cycles executed.
+    pub cycles: u64,
+    /// Requests served a version older than the origin's (TTL mode).
+    pub stale_serves: u64,
+    /// TTL revalidations performed against the origin.
+    pub revalidations: u64,
+}
+
+/// One cooperating group of edge caches, its beacon state and its metrics.
+///
+/// Driven by [`crate::EdgeNetworkSim`]; unit tests drive it directly.
+#[derive(Debug)]
+pub struct CacheCloud {
+    config: CloudConfig,
+    caches: Vec<EdgeCache>,
+    assigner: Box<dyn BeaconAssigner>,
+    placement: Box<dyn PlacementPolicy>,
+    directory: CloudDirectory,
+    /// Lookups + updates handled per beacon point, whole run.
+    beacon_load: Vec<f64>,
+    traffic: TrafficMeter,
+    latency_sum_secs: f64,
+    latency_samples: u64,
+    /// Latency distribution in milliseconds.
+    latency_hist: cachecloud_metrics::Histogram,
+    /// Per-cache failure flags.
+    failed: Vec<bool>,
+    stats: CloudStats,
+    rng: SimRng,
+}
+
+impl CacheCloud {
+    /// Builds a cloud from its configuration; `corpus` is the total size of
+    /// all trace documents (used to resolve fractional capacities).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(config: CloudConfig, corpus: ByteSize) -> cachecloud_types::Result<Self> {
+        config.validate()?;
+        let capacity = config.capacity.resolve(corpus)?;
+        let caches = (0..config.num_caches)
+            .map(|i| {
+                EdgeCache::new(
+                    CacheId(i),
+                    capacity,
+                    config.replacement.build(),
+                    config.monitor_half_life,
+                )
+            })
+            .collect();
+        let assigner = config.hashing.build(config.num_caches)?;
+        let placement = config.placement.build()?;
+        let rng = SimRng::seed_from_u64(config.seed ^ 0xC10D_C10D);
+        Ok(CacheCloud {
+            beacon_load: vec![0.0; config.num_caches],
+            failed: vec![false; config.num_caches],
+            caches,
+            assigner,
+            placement,
+            directory: CloudDirectory::new(),
+            traffic: TrafficMeter::per_minute(),
+            latency_sum_secs: 0.0,
+            latency_samples: 0,
+            latency_hist: cachecloud_metrics::Histogram::new(0.0, 1000.0, 200),
+            stats: CloudStats::default(),
+            config,
+            rng,
+        })
+    }
+
+    /// The cloud's configuration.
+    pub fn config(&self) -> &CloudConfig {
+        &self.config
+    }
+
+    /// The cloud's caches.
+    pub fn caches(&self) -> &[EdgeCache] {
+        &self.caches
+    }
+
+    /// The lookup directory.
+    pub fn directory(&self) -> &CloudDirectory {
+        &self.directory
+    }
+
+    /// The active beacon assigner.
+    pub fn assigner(&self) -> &dyn BeaconAssigner {
+        self.assigner.as_ref()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> CloudStats {
+        self.stats
+    }
+
+    /// The traffic meter.
+    pub fn traffic(&self) -> &TrafficMeter {
+        &self.traffic
+    }
+
+    /// Total lookup+update load handled by each beacon point so far.
+    pub fn beacon_loads(&self) -> &[f64] {
+        &self.beacon_load
+    }
+
+    /// Mean client-perceived latency of the requests handled so far.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.latency_samples == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(self.latency_sum_secs / self.latency_samples as f64)
+        }
+    }
+
+    /// Handles one client request arriving at `cache`.
+    ///
+    /// `version` and `update_rate` are the origin-side authoritative version
+    /// and the document's current update rate (piggybacked on transfers, so
+    /// the deciding cache can evaluate CMC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is outside the cloud.
+    pub fn handle_request(
+        &mut self,
+        doc: &DocumentSpec,
+        cache: CacheId,
+        version: Version,
+        update_rate: f64,
+        now: SimTime,
+    ) {
+        assert!(cache.index() < self.caches.len(), "unknown {cache}");
+        // Clients of a failed cache are redirected to the next live cache
+        // in index order (edge networks re-route via DNS/anycast).
+        let cache = if self.failed[cache.index()] {
+            match (1..self.caches.len())
+                .map(|off| CacheId((cache.index() + off) % self.caches.len()))
+                .find(|c| !self.failed[c.index()])
+            {
+                Some(c) => c,
+                None => return, // every cache is down; drop the request
+            }
+        } else {
+            cache
+        };
+        self.stats.requests += 1;
+        // The established local rate, before this access is recorded.
+        let prior_access_rate = self.caches[cache.index()].access_rate(&doc.id, now);
+        if self.caches[cache.index()].record_request(&doc.id, now) {
+            self.stats.local_hits += 1;
+            let mut latency = SimDuration::ZERO;
+            if let ConsistencyModel::Ttl(ttl) = self.config.consistency {
+                let copy = self.caches[cache.index()]
+                    .store()
+                    .peek(&doc.id)
+                    .expect("a local hit implies residency");
+                if now.saturating_since(copy.validated_at) >= ttl {
+                    // TTL expired: revalidate with the origin
+                    // (If-Modified-Since round trip; body only if changed).
+                    self.stats.revalidations += 1;
+                    self.traffic
+                        .record(now, MessageKind::LookupRequest, ByteSize::ZERO, false);
+                    let changed = copy.version < version;
+                    if changed {
+                        self.traffic
+                            .record(now, MessageKind::DocTransfer, doc.size, false);
+                    } else {
+                        self.traffic
+                            .record(now, MessageKind::LookupResponse, ByteSize::ZERO, false);
+                    }
+                    latency += self.config.latency.sample_to_origin(&mut self.rng) * 2;
+                    self.caches[cache.index()]
+                        .store_mut()
+                        .revalidate(&doc.id, version, now);
+                    self.directory.note_version(&doc.id, version);
+                } else if copy.version < version {
+                    // Fresh by TTL but outdated at the origin: stale serve.
+                    self.stats.stale_serves += 1;
+                }
+            }
+            self.note_latency(latency);
+            return;
+        }
+
+        // Local miss: consult the document's beacon point.
+        let beacon = self.assigner.beacon_for(&doc.id);
+        self.beacon_load[beacon.index()] += 1.0;
+        self.assigner.record_load(&doc.id, 1.0);
+        let mut latency = SimDuration::ZERO;
+        if beacon != cache {
+            self.traffic
+                .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
+            self.traffic
+                .record(now, MessageKind::LookupResponse, ByteSize::ZERO, true);
+            // Discovery may take several hops (consistent hashing).
+            let hops = self.assigner.discovery_hops(&doc.id);
+            for _ in 0..hops {
+                latency += self.config.latency.sample_intra_cloud(&mut self.rng);
+            }
+            latency += self.config.latency.sample_intra_cloud(&mut self.rng);
+        }
+
+        let holders = self.directory.holders(&doc.id);
+        if holders.is_empty() {
+            // Group miss: fetch from the origin.
+            self.traffic
+                .record(now, MessageKind::LookupRequest, ByteSize::ZERO, false);
+            self.traffic
+                .record(now, MessageKind::DocTransfer, doc.size, false);
+            latency += self.config.latency.sample_to_origin(&mut self.rng) * 2;
+            self.stats.origin_fetches += 1;
+            self.directory.note_version(&doc.id, version);
+        } else {
+            // Served within the cloud by a random current holder.
+            let h = holders[self.rng.next_usize(holders.len())];
+            self.traffic
+                .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
+            self.traffic
+                .record(now, MessageKind::DocTransfer, doc.size, true);
+            latency += self.config.latency.sample_intra_cloud(&mut self.rng) * 2;
+            self.stats.cloud_hits += 1;
+            debug_assert!(h != cache, "a holder cannot locally miss");
+            if matches!(self.config.consistency, ConsistencyModel::Ttl(_))
+                && self.directory.known_version(&doc.id) < version
+            {
+                // The cloud's copies lag the origin: a stale serve.
+                self.stats.stale_serves += 1;
+            }
+        }
+        self.note_latency(latency);
+
+        // Placement decision on the retrieved copy.
+        let cached_version = self.directory.known_version(&doc.id).max(version);
+        let ctx = self.placement_context(
+            doc,
+            cache,
+            beacon,
+            &holders,
+            update_rate,
+            prior_access_rate,
+            now,
+        );
+        if self.placement.should_store(&ctx) && self.store_copy(doc, cache, beacon, cached_version, now)
+        {
+            self.stats.stores += 1;
+        } else {
+            self.stats.drops += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn placement_context(
+        &self,
+        doc: &DocumentSpec,
+        cache: CacheId,
+        beacon: CacheId,
+        holders: &[CacheId],
+        update_rate: f64,
+        prior_access_rate: f64,
+        now: SimTime,
+    ) -> PlacementContext {
+        let me = &self.caches[cache.index()];
+        let max_residence_elsewhere = holders
+            .iter()
+            .filter_map(|h| self.caches[h.index()].store().estimated_residence())
+            .max();
+        PlacementContext {
+            now,
+            is_beacon: cache == beacon,
+            copies_in_cloud: holders.len(),
+            access_rate: me.access_rate(&doc.id, now),
+            prior_access_rate,
+            mean_access_rate: me.mean_access_rate(now),
+            update_rate,
+            residence_here: me.store().estimated_residence(),
+            max_residence_elsewhere,
+        }
+    }
+
+    /// Stores the copy, maintaining the directory; returns `false` when the
+    /// document does not fit the disk at all.
+    fn store_copy(
+        &mut self,
+        doc: &DocumentSpec,
+        cache: CacheId,
+        beacon: CacheId,
+        version: Version,
+        now: SimTime,
+    ) -> bool {
+        let evicted = match self.caches[cache.index()].store_mut().insert(
+            doc.id.clone(),
+            doc.size,
+            version,
+            now,
+        ) {
+            Ok(ev) => ev,
+            // A document larger than the whole disk is simply not cached.
+            Err(_) => return false,
+        };
+        for victim in evicted {
+            self.directory.unregister(&victim, cache);
+            let victim_beacon = self.assigner.beacon_for(&victim);
+            if victim_beacon != cache {
+                self.traffic
+                    .record(now, MessageKind::DirectoryRegister, ByteSize::ZERO, true);
+            }
+        }
+        self.directory.register(&doc.id, cache);
+        if beacon != cache {
+            self.traffic
+                .record(now, MessageKind::DirectoryRegister, ByteSize::ZERO, true);
+        }
+        true
+    }
+
+    /// Handles one origin-side update of `doc` to `version`.
+    ///
+    /// The origin sends the updated body to the document's beacon point in
+    /// this cloud, which delivers it to every current holder (paper §2.2's
+    /// update protocol). Unless `always_notify` is configured, clouds
+    /// holding no copy are skipped.
+    pub fn handle_update(
+        &mut self,
+        doc: &DocumentSpec,
+        version: Version,
+        now: SimTime,
+    ) {
+        if matches!(self.config.consistency, ConsistencyModel::Ttl(_)) {
+            // TTL consistency: the origin never contacts the caches; copies
+            // age out and revalidate on access.
+            self.stats.updates_skipped += 1;
+            return;
+        }
+        let holders = self.directory.holders(&doc.id);
+        if holders.is_empty() && !self.config.always_notify {
+            self.stats.updates_skipped += 1;
+            return;
+        }
+        let beacon = self.assigner.beacon_for(&doc.id);
+        self.beacon_load[beacon.index()] += 1.0;
+        self.assigner.record_load(&doc.id, 1.0);
+        self.traffic
+            .record(now, MessageKind::UpdateNotice, doc.size, false);
+        self.directory.note_version(&doc.id, version);
+        for h in holders {
+            self.caches[h.index()]
+                .store_mut()
+                .refresh_version(&doc.id, version);
+            if h != beacon {
+                self.traffic
+                    .record(now, MessageKind::UpdateDelivery, doc.size, true);
+            }
+            self.stats.update_deliveries += 1;
+        }
+        self.stats.updates_propagated += 1;
+    }
+
+    /// Ends a load-measurement cycle: re-determines sub-ranges and charges
+    /// the directory-record handoff traffic.
+    pub fn end_cycle(&mut self, now: SimTime) {
+        self.stats.cycles += 1;
+        let handoffs = self.assigner.end_cycle();
+        if handoffs.is_empty() {
+            return;
+        }
+        let mut moved = 0u64;
+        for (doc, _) in self.directory.iter_held() {
+            for h in &handoffs {
+                if self.assigner.doc_in_handoff(doc, h) {
+                    moved += 1;
+                    break;
+                }
+            }
+        }
+        for _ in 0..moved {
+            self.traffic
+                .record(now, MessageKind::DirectoryHandoff, ByteSize::ZERO, true);
+        }
+        self.stats.handoff_records += moved;
+    }
+
+    /// Injects a beacon-point failure. Returns whether the assigner absorbed
+    /// it (dynamic hashing's lazily replicated directories allow the ring
+    /// partner to take over).
+    pub fn inject_failure(&mut self, cache: CacheId) -> bool {
+        self.assigner.handle_failure(cache)
+    }
+
+    /// Fails a cache completely: its beacon duties move to the ring partner
+    /// (lazily replicated directories), its stored copies vanish from the
+    /// cloud, and the directory forgets it held anything. Requests keep
+    /// arriving at the failed cache's clients via other caches; documents
+    /// whose only copy died are refetched from the origin on next request.
+    ///
+    /// Returns `false` (and changes nothing) if the assigner cannot absorb
+    /// the failure — e.g. the last beacon point of a ring.
+    pub fn fail_cache(&mut self, cache: CacheId, now: SimTime) -> bool {
+        if cache.index() >= self.caches.len() || self.failed[cache.index()] {
+            return false;
+        }
+        if !self.assigner.handle_failure(cache) {
+            return false;
+        }
+        self.failed[cache.index()] = true;
+        // The dead cache's copies are gone: scrub the directory. No
+        // deregistration traffic — the cache is dead, peers detect the loss
+        // lazily; the directory scrub models the beacon pruning holders
+        // that stop responding.
+        let dead_docs: Vec<_> = self.caches[cache.index()]
+            .store()
+            .iter()
+            .map(|d| d.id.clone())
+            .collect();
+        for doc in dead_docs {
+            self.directory.unregister(&doc, cache);
+            self.caches[cache.index()].store_mut().remove(&doc);
+        }
+        let _ = now;
+        true
+    }
+
+    /// Whether `cache` has been failed.
+    pub fn is_failed(&self, cache: CacheId) -> bool {
+        self.failed
+            .get(cache.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Identifiers of currently live caches.
+    pub fn live_caches(&self) -> Vec<CacheId> {
+        (0..self.caches.len())
+            .filter(|&i| !self.failed[i])
+            .map(CacheId)
+            .collect()
+    }
+
+    /// Number of documents stored at each cache right now.
+    pub fn docs_stored_per_cache(&self) -> Vec<usize> {
+        self.caches.iter().map(|c| c.store().len()).collect()
+    }
+
+    /// Total evictions across the cloud.
+    pub fn total_evictions(&self) -> u64 {
+        self.caches.iter().map(|c| c.store().evictions()).sum()
+    }
+
+    fn note_latency(&mut self, latency: SimDuration) {
+        self.latency_sum_secs += latency.as_secs_f64();
+        self.latency_samples += 1;
+        self.latency_hist.record(latency.as_secs_f64() * 1000.0);
+    }
+
+    /// Approximate latency quantile `q` in milliseconds.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        self.latency_hist.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CapacityConfig, CloudConfig, HashingScheme, PlacementScheme};
+    use cachecloud_net::LatencyModel;
+    use cachecloud_types::DocId;
+
+    fn spec(url: &str, bytes: u64) -> DocumentSpec {
+        DocumentSpec {
+            id: DocId::from_url(url),
+            size: ByteSize::from_bytes(bytes),
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn cloud_with(placement: PlacementScheme) -> CacheCloud {
+        let config = CloudConfig::builder(4)
+            .hashing(HashingScheme::dynamic_rings(2, 100, true))
+            .placement(placement)
+            .latency(LatencyModel::deterministic(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(80),
+            ))
+            .build()
+            .unwrap();
+        CacheCloud::new(config, ByteSize::from_mib(10)).unwrap()
+    }
+
+    #[test]
+    fn adhoc_request_flow() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/a", 1000);
+        // First request: group miss, fetched from origin, stored (ad hoc).
+        cloud.handle_request(&d, CacheId(0), Version(1), 0.0, t(1));
+        assert_eq!(cloud.stats().origin_fetches, 1);
+        assert_eq!(cloud.stats().stores, 1);
+        assert!(cloud.caches()[0].store().contains(&d.id));
+        // Second request at another cache: served within the cloud.
+        cloud.handle_request(&d, CacheId(1), Version(1), 0.0, t(2));
+        assert_eq!(cloud.stats().cloud_hits, 1);
+        // Third request at the first cache: local hit.
+        cloud.handle_request(&d, CacheId(0), Version(1), 0.0, t(3));
+        assert_eq!(cloud.stats().local_hits, 1);
+        assert_eq!(cloud.stats().requests, 3);
+    }
+
+    #[test]
+    fn beacon_placement_stores_only_at_beacon() {
+        let mut cloud = cloud_with(PlacementScheme::BeaconPoint);
+        let d = spec("/b", 500);
+        let beacon = cloud.assigner().beacon_for(&d.id);
+        for i in 0..4 {
+            cloud.handle_request(&d, CacheId(i), Version(1), 0.0, t(i as u64 + 1));
+        }
+        for c in cloud.caches() {
+            assert_eq!(
+                c.store().contains(&d.id),
+                c.id() == beacon,
+                "only the beacon stores under beacon placement"
+            );
+        }
+        // Non-beacon requests after the beacon stored are cloud hits.
+        cloud.handle_request(&d, CacheId((beacon.index() + 1) % 4), Version(1), 0.0, t(10));
+        assert!(cloud.stats().cloud_hits >= 1);
+    }
+
+    #[test]
+    fn update_propagation_reaches_all_holders() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/c", 2000);
+        for i in 0..4 {
+            cloud.handle_request(&d, CacheId(i), Version(0), 0.0, t(i as u64 + 1));
+        }
+        assert_eq!(cloud.directory().copy_count(&d.id), 4);
+        cloud.handle_update(&d, Version(5), t(10));
+        assert_eq!(cloud.stats().updates_propagated, 1);
+        assert_eq!(cloud.stats().update_deliveries, 4);
+        for c in cloud.caches() {
+            assert_eq!(c.store().peek(&d.id).unwrap().version, Version(5));
+        }
+    }
+
+    #[test]
+    fn updates_for_unheld_documents_are_skipped() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/ghost", 100);
+        cloud.handle_update(&d, Version(1), t(1));
+        assert_eq!(cloud.stats().updates_skipped, 1);
+        assert_eq!(cloud.stats().updates_propagated, 0);
+        assert_eq!(cloud.traffic().messages(), 0);
+    }
+
+    #[test]
+    fn always_notify_pushes_unheld_updates() {
+        let config = CloudConfig::builder(2)
+            .placement(PlacementScheme::AdHoc)
+            .hashing(HashingScheme::Static)
+            .always_notify(true)
+            .build()
+            .unwrap();
+        let mut cloud = CacheCloud::new(config, ByteSize::from_mib(1)).unwrap();
+        cloud.handle_update(&spec("/ghost", 100), Version(1), t(1));
+        assert_eq!(cloud.stats().updates_propagated, 1);
+        assert!(cloud.traffic().messages() > 0);
+    }
+
+    #[test]
+    fn beacon_load_counts_lookups_and_updates() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/load", 100);
+        let beacon = cloud.assigner().beacon_for(&d.id);
+        cloud.handle_request(&d, CacheId(0), Version(0), 0.0, t(1)); // lookup
+        cloud.handle_update(&d, Version(1), t(2)); // update
+        let load = cloud.beacon_loads()[beacon.index()];
+        assert_eq!(load, 2.0);
+        // Local hits do not touch the beacon.
+        cloud.handle_request(&d, CacheId(0), Version(1), 0.0, t(3));
+        assert_eq!(cloud.beacon_loads()[beacon.index()], 2.0);
+    }
+
+    #[test]
+    fn bounded_store_evictions_update_directory() {
+        let config = CloudConfig::builder(2)
+            .placement(PlacementScheme::AdHoc)
+            .hashing(HashingScheme::Static)
+            .capacity(CapacityConfig::Bytes(ByteSize::from_bytes(1500)))
+            .build()
+            .unwrap();
+        let mut cloud = CacheCloud::new(config, ByteSize::from_mib(1)).unwrap();
+        // Fill cache 0 beyond capacity: 1000 + 1000 > 1500 evicts the first.
+        let a = spec("/a", 1000);
+        let b = spec("/b", 1000);
+        cloud.handle_request(&a, CacheId(0), Version(0), 0.0, t(1));
+        cloud.handle_request(&b, CacheId(0), Version(0), 0.0, t(2));
+        assert_eq!(cloud.directory().copy_count(&a.id), 0, "evicted => unregistered");
+        assert_eq!(cloud.directory().copy_count(&b.id), 1);
+        assert_eq!(cloud.total_evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_document_is_served_but_not_stored() {
+        let config = CloudConfig::builder(2)
+            .placement(PlacementScheme::AdHoc)
+            .hashing(HashingScheme::Static)
+            .capacity(CapacityConfig::Bytes(ByteSize::from_bytes(500)))
+            .build()
+            .unwrap();
+        let mut cloud = CacheCloud::new(config, ByteSize::from_mib(1)).unwrap();
+        let big = spec("/big", 10_000);
+        cloud.handle_request(&big, CacheId(0), Version(0), 0.0, t(1));
+        assert_eq!(cloud.stats().stores, 0);
+        assert_eq!(cloud.stats().drops, 1);
+        assert!(!cloud.caches()[0].store().contains(&big.id));
+    }
+
+    #[test]
+    fn utility_placement_rejects_churny_documents() {
+        let mut cloud = cloud_with(PlacementScheme::utility_default());
+        let d = spec("/churny", 100);
+        // Enormous update rate relative to access rate: CMC ≈ 0 and the
+        // document should not be stored once copies exist.
+        cloud.handle_request(&d, CacheId(0), Version(0), 0.0, t(1));
+        // First store may happen (availability 1.0, CMC neutral at rate 0);
+        // subsequent deciders see the high update rate.
+        cloud.handle_request(&d, CacheId(1), Version(0), 1000.0, t(2));
+        assert!(
+            !cloud.caches()[1].store().contains(&d.id),
+            "a second copy of a hot-updated document must not be placed"
+        );
+    }
+
+    #[test]
+    fn end_cycle_moves_directory_records() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        // Drive a skewed lookup load so a rebalance actually happens.
+        for i in 0..200 {
+            let d = spec(&format!("/doc/{i}"), 200);
+            cloud.handle_request(&d, CacheId(i % 4), Version(0), 0.0, t(i as u64 + 1));
+        }
+        let before = cloud.traffic().bytes_for(MessageKind::DirectoryHandoff);
+        cloud.end_cycle(t(1000));
+        assert_eq!(cloud.stats().cycles, 1);
+        if cloud.stats().handoff_records > 0 {
+            assert!(cloud.traffic().bytes_for(MessageKind::DirectoryHandoff) > before);
+        }
+    }
+
+    #[test]
+    fn failure_injection_reassigns_beacons() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        assert!(cloud.inject_failure(CacheId(1)));
+        for i in 0..100 {
+            let d = DocId::from_url(format!("/f/{i}"));
+            assert_ne!(cloud.assigner().beacon_for(&d), CacheId(1));
+        }
+    }
+
+    #[test]
+    fn ttl_consistency_serves_stale_until_revalidation() {
+        let config = CloudConfig::builder(2)
+            .hashing(HashingScheme::Static)
+            .placement(PlacementScheme::AdHoc)
+            .consistency(crate::config::ConsistencyModel::Ttl(
+                SimDuration::from_minutes(10),
+            ))
+            .latency(LatencyModel::deterministic(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(80),
+            ))
+            .build()
+            .unwrap();
+        let mut cloud = CacheCloud::new(config, ByteSize::from_mib(1)).unwrap();
+        let d = spec("/ttl", 500);
+        // Fetch and store the document (version 1).
+        cloud.handle_request(&d, CacheId(0), Version(1), 0.0, t(0));
+        // The origin updates, but TTL mode never pushes.
+        cloud.handle_update(&d, Version(2), t(10));
+        assert_eq!(cloud.stats().updates_propagated, 0);
+        assert_eq!(cloud.stats().updates_skipped, 1);
+        // Within the TTL the cache serves the old version: a stale serve.
+        cloud.handle_request(&d, CacheId(0), Version(2), 0.0, t(60));
+        assert_eq!(cloud.stats().stale_serves, 1);
+        assert_eq!(cloud.stats().revalidations, 0);
+        // After the TTL the cache revalidates and picks up version 2.
+        cloud.handle_request(&d, CacheId(0), Version(2), 0.0, t(11 * 60));
+        assert_eq!(cloud.stats().revalidations, 1);
+        assert_eq!(
+            cloud.caches()[0].store().peek(&d.id).unwrap().version,
+            Version(2)
+        );
+        // Subsequent fresh serves are not stale.
+        cloud.handle_request(&d, CacheId(0), Version(2), 0.0, t(11 * 60 + 10));
+        assert_eq!(cloud.stats().stale_serves, 1);
+    }
+
+    #[test]
+    fn server_push_never_serves_stale() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/fresh", 500);
+        for i in 0..10u64 {
+            cloud.handle_request(&d, CacheId((i % 4) as usize), Version(i), 0.0, t(i * 10));
+            cloud.handle_update(&d, Version(i + 1), t(i * 10 + 5));
+        }
+        assert_eq!(cloud.stats().stale_serves, 0);
+        assert_eq!(cloud.stats().revalidations, 0);
+    }
+
+    #[test]
+    fn fail_cache_scrubs_directory_and_redirects_clients() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/failover", 500);
+        for i in 0..4 {
+            cloud.handle_request(&d, CacheId(i), Version(0), 0.0, t(i as u64 + 1));
+        }
+        assert_eq!(cloud.directory().copy_count(&d.id), 4);
+        assert!(cloud.fail_cache(CacheId(1), t(100)));
+        assert!(cloud.is_failed(CacheId(1)));
+        assert_eq!(cloud.directory().copy_count(&d.id), 3);
+        assert_eq!(cloud.live_caches().len(), 3);
+        // Requests addressed to the failed cache are redirected and served.
+        let before = cloud.stats().requests;
+        cloud.handle_request(&d, CacheId(1), Version(0), 0.0, t(101));
+        assert_eq!(cloud.stats().requests, before + 1);
+        // Failing the same cache twice is a no-op.
+        assert!(!cloud.fail_cache(CacheId(1), t(102)));
+    }
+
+    #[test]
+    fn mean_latency_counts_hits_as_zero() {
+        let mut cloud = cloud_with(PlacementScheme::AdHoc);
+        let d = spec("/lat", 100);
+        cloud.handle_request(&d, CacheId(0), Version(0), 0.0, t(1)); // origin: ≥160 ms
+        let after_miss = cloud.mean_latency();
+        assert!(after_miss >= SimDuration::from_millis(160));
+        cloud.handle_request(&d, CacheId(0), Version(0), 0.0, t(2)); // local hit
+        assert!(cloud.mean_latency() < after_miss);
+    }
+}

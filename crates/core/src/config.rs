@@ -1,0 +1,462 @@
+//! Configuration of a simulated cache cloud.
+
+use cachecloud_hashing::{
+    BeaconAssigner, ConsistentHashing, DynamicHashing, RingLayout, StaticHashing,
+};
+use cachecloud_net::LatencyModel;
+use cachecloud_placement::{
+    AdHocPolicy, BeaconPointPolicy, PlacementPolicy, UtilityBasedPolicy, UtilityWeights,
+};
+use cachecloud_storage::{
+    FifoPolicy, GreedyDualSizePolicy, LfuPolicy, LruPolicy, ReplacementPolicy,
+};
+use cachecloud_types::{
+    ByteSize, CacheCloudError, CacheId, Capability, SimDuration,
+};
+
+/// Which beacon-assignment scheme a cloud runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HashingScheme {
+    /// `md5(url) mod N` (the paper's baseline).
+    Static,
+    /// Consistent hashing with the given virtual-node count.
+    Consistent {
+        /// Virtual nodes per cache on the circle.
+        virtual_nodes: usize,
+    },
+    /// The paper's dynamic hashing.
+    Dynamic {
+        /// Ring grouping.
+        layout: RingLayout,
+        /// Intra-ring hash generator (1000 in the paper's experiments).
+        irh_gen: u64,
+        /// Track fine-grained per-IrH loads (`CIrHLd`) instead of the
+        /// `CAvgLoad` approximation.
+        track_per_irh: bool,
+    },
+}
+
+impl HashingScheme {
+    /// Dynamic hashing with `rings` beacon rings.
+    pub fn dynamic_rings(rings: usize, irh_gen: u64, track_per_irh: bool) -> Self {
+        HashingScheme::Dynamic {
+            layout: RingLayout::rings(rings),
+            irh_gen,
+            track_per_irh,
+        }
+    }
+
+    /// Dynamic hashing with rings of `points` beacon points (the paper's
+    /// Figure 5 sweeps 2/5/10).
+    pub fn dynamic_ring_size(points: usize, irh_gen: u64, track_per_irh: bool) -> Self {
+        HashingScheme::Dynamic {
+            layout: RingLayout::points_per_ring(points),
+            irh_gen,
+            track_per_irh,
+        }
+    }
+
+    /// Instantiates the assigner for a cloud of `num_caches` caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheme's own validation errors.
+    pub fn build(
+        &self,
+        num_caches: usize,
+    ) -> cachecloud_types::Result<Box<dyn BeaconAssigner>> {
+        let ids: Vec<CacheId> = (0..num_caches).map(CacheId).collect();
+        Ok(match self {
+            HashingScheme::Static => Box::new(StaticHashing::new(ids)?),
+            HashingScheme::Consistent { virtual_nodes } => {
+                Box::new(ConsistentHashing::new(ids, *virtual_nodes)?)
+            }
+            HashingScheme::Dynamic {
+                layout,
+                irh_gen,
+                track_per_irh,
+            } => {
+                let caches: Vec<(CacheId, Capability)> =
+                    ids.into_iter().map(|c| (c, Capability::UNIT)).collect();
+                Box::new(DynamicHashing::new(&caches, *layout, *irh_gen, *track_per_irh)?)
+            }
+        })
+    }
+}
+
+/// Which placement policy a cloud runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementScheme {
+    /// Store everywhere a request was served.
+    AdHoc,
+    /// Store only at the beacon point.
+    BeaconPoint,
+    /// The paper's utility-based placement.
+    Utility {
+        /// Component weights.
+        weights: UtilityWeights,
+        /// `UtilThreshold` (0.5 in the paper's experiments).
+        threshold: f64,
+    },
+}
+
+impl PlacementScheme {
+    /// The paper's Figure 7/8 configuration: DsCC off, equal thirds,
+    /// threshold 0.5.
+    pub fn utility_default() -> Self {
+        PlacementScheme::Utility {
+            weights: UtilityWeights::equal_three(),
+            threshold: 0.5,
+        }
+    }
+
+    /// The paper's Figure 9 configuration: all four components at ¼.
+    pub fn utility_with_dscc() -> Self {
+        PlacementScheme::Utility {
+            weights: UtilityWeights::equal_four(),
+            threshold: 0.5,
+        }
+    }
+
+    pub(crate) fn build(&self) -> cachecloud_types::Result<Box<dyn PlacementPolicy>> {
+        Ok(match self {
+            PlacementScheme::AdHoc => Box::new(AdHocPolicy::new()),
+            PlacementScheme::BeaconPoint => Box::new(BeaconPointPolicy::new()),
+            PlacementScheme::Utility { weights, threshold } => {
+                Box::new(UtilityBasedPolicy::new(*weights, *threshold)?)
+            }
+        })
+    }
+}
+
+/// How cached copies are kept consistent with the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyModel {
+    /// The paper's model: the origin pushes each update to the document's
+    /// beacon point, which fans it out to all holders. Caches never serve
+    /// stale versions.
+    ServerPush,
+    /// The TTL model of earlier cooperative-caching work (paper §5):
+    /// copies are served without contacting anyone until their
+    /// time-to-live expires, then revalidated with the origin. Cheap on
+    /// the origin, but serves stale versions inside the TTL window.
+    Ttl(SimDuration),
+}
+
+/// Disk capacity of each edge cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityConfig {
+    /// No bound (the paper's Figures 7–8).
+    Unlimited,
+    /// A fraction of the total corpus size (the paper's Figure 9 uses 0.25).
+    FractionOfCorpus(f64),
+    /// An absolute byte bound.
+    Bytes(ByteSize),
+}
+
+impl CapacityConfig {
+    pub(crate) fn resolve(&self, corpus: ByteSize) -> cachecloud_types::Result<ByteSize> {
+        match self {
+            CapacityConfig::Unlimited => Ok(ByteSize::UNLIMITED),
+            CapacityConfig::FractionOfCorpus(f) => {
+                if !f.is_finite() || *f <= 0.0 {
+                    return Err(CacheCloudError::InvalidConfig {
+                        param: "capacity_fraction",
+                        reason: format!("fraction {f} must be positive and finite"),
+                    });
+                }
+                Ok(corpus.scale(*f))
+            }
+            CapacityConfig::Bytes(b) => {
+                if b.is_zero() {
+                    return Err(CacheCloudError::InvalidConfig {
+                        param: "capacity_bytes",
+                        reason: "capacity must be non-zero".into(),
+                    });
+                }
+                Ok(*b)
+            }
+        }
+    }
+}
+
+/// Which replacement policy bounded caches run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// Least recently used (the paper's Figure 9).
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Least frequently used.
+    Lfu,
+    /// GreedyDual-Size.
+    GreedyDualSize,
+}
+
+impl ReplacementKind {
+    pub(crate) fn build(&self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            ReplacementKind::Lru => Box::new(LruPolicy::new()),
+            ReplacementKind::Fifo => Box::new(FifoPolicy::new()),
+            ReplacementKind::Lfu => Box::new(LfuPolicy::new()),
+            ReplacementKind::GreedyDualSize => Box::new(GreedyDualSizePolicy::new()),
+        }
+    }
+}
+
+/// Full configuration of one simulated cache cloud.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Number of edge caches in the cloud.
+    pub num_caches: usize,
+    /// Beacon-assignment scheme.
+    pub hashing: HashingScheme,
+    /// Placement policy.
+    pub placement: PlacementScheme,
+    /// Per-cache disk capacity.
+    pub capacity: CapacityConfig,
+    /// Replacement policy for bounded disks.
+    pub replacement: ReplacementKind,
+    /// Sub-range determination cycle length (1 h in the paper).
+    pub cycle: SimDuration,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Half-life of the access/update rate monitors.
+    pub monitor_half_life: SimDuration,
+    /// Whether the origin pushes update bodies for documents the cloud does
+    /// not currently hold (off by default: the beacon subscribes the cloud
+    /// only while copies exist).
+    pub always_notify: bool,
+    /// Consistency model (the paper's server push by default).
+    pub consistency: ConsistencyModel,
+    /// RNG seed for latency jitter and tie-breaking.
+    pub seed: u64,
+}
+
+impl CloudConfig {
+    /// Starts building a configuration for a cloud of `num_caches` caches
+    /// with the paper's defaults: dynamic hashing (2-point rings,
+    /// IrHGen = 1000, fine-grained ledgers), utility placement (DsCC off,
+    /// threshold 0.5), unlimited disk, LRU, 1-hour cycles.
+    pub fn builder(num_caches: usize) -> CloudConfigBuilder {
+        CloudConfigBuilder {
+            config: CloudConfig {
+                num_caches,
+                hashing: HashingScheme::Dynamic {
+                    layout: RingLayout::points_per_ring(2),
+                    irh_gen: 1000,
+                    track_per_irh: true,
+                },
+                placement: PlacementScheme::utility_default(),
+                capacity: CapacityConfig::Unlimited,
+                replacement: ReplacementKind::Lru,
+                cycle: SimDuration::from_hours(1),
+                latency: LatencyModel::default_edge(),
+                monitor_half_life: SimDuration::from_minutes(10),
+                always_notify: false,
+                consistency: ConsistencyModel::ServerPush,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] on an empty cloud, a zero
+    /// cycle, or a scheme that cannot be instantiated for this cloud size.
+    pub fn validate(&self) -> cachecloud_types::Result<()> {
+        if self.num_caches == 0 {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "num_caches",
+                reason: "cloud must contain at least one cache".into(),
+            });
+        }
+        if self.cycle.is_zero() {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "cycle",
+                reason: "cycle length must be non-zero".into(),
+            });
+        }
+        if let ConsistencyModel::Ttl(ttl) = self.consistency {
+            if ttl.is_zero() {
+                return Err(CacheCloudError::InvalidConfig {
+                    param: "consistency",
+                    reason: "a zero TTL would revalidate on every request;                              use ServerPush instead".into(),
+                });
+            }
+        }
+        // Building the schemes validates their parameters.
+        self.hashing.build(self.num_caches)?;
+        self.placement.build()?;
+        Ok(())
+    }
+}
+
+/// Builder for [`CloudConfig`].
+#[derive(Debug, Clone)]
+pub struct CloudConfigBuilder {
+    config: CloudConfig,
+}
+
+impl CloudConfigBuilder {
+    /// Sets the hashing scheme.
+    pub fn hashing(mut self, h: HashingScheme) -> Self {
+        self.config.hashing = h;
+        self
+    }
+
+    /// Sets the placement scheme.
+    pub fn placement(mut self, p: PlacementScheme) -> Self {
+        self.config.placement = p;
+        self
+    }
+
+    /// Sets the per-cache capacity.
+    pub fn capacity(mut self, c: CapacityConfig) -> Self {
+        self.config.capacity = c;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn replacement(mut self, r: ReplacementKind) -> Self {
+        self.config.replacement = r;
+        self
+    }
+
+    /// Sets the rebalancing cycle length.
+    pub fn cycle(mut self, c: SimDuration) -> Self {
+        self.config.cycle = c;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.config.latency = l;
+        self
+    }
+
+    /// Sets the rate-monitor half-life.
+    pub fn monitor_half_life(mut self, h: SimDuration) -> Self {
+        self.config.monitor_half_life = h;
+        self
+    }
+
+    /// Origin pushes updates even for unheld documents.
+    pub fn always_notify(mut self, yes: bool) -> Self {
+        self.config.always_notify = yes;
+        self
+    }
+
+    /// Sets the consistency model.
+    pub fn consistency(mut self, c: ConsistencyModel) -> Self {
+        self.config.consistency = c;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.config.seed = s;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`CloudConfig::validate`].
+    pub fn build(self) -> cachecloud_types::Result<CloudConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_valid() {
+        let c = CloudConfig::builder(10).build().unwrap();
+        assert_eq!(c.num_caches, 10);
+        assert_eq!(c.cycle, SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn invalid_cloud_sizes_are_rejected() {
+        assert!(CloudConfig::builder(0).build().is_err());
+        // 10 caches cannot form rings of 3.
+        assert!(CloudConfig::builder(10)
+            .hashing(HashingScheme::dynamic_ring_size(3, 1000, true))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn zero_cycle_rejected() {
+        assert!(CloudConfig::builder(4)
+            .cycle(SimDuration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn capacity_resolution() {
+        let corpus = ByteSize::from_bytes(1000);
+        assert_eq!(
+            CapacityConfig::Unlimited.resolve(corpus).unwrap(),
+            ByteSize::UNLIMITED
+        );
+        assert_eq!(
+            CapacityConfig::FractionOfCorpus(0.25).resolve(corpus).unwrap(),
+            ByteSize::from_bytes(250)
+        );
+        assert_eq!(
+            CapacityConfig::Bytes(ByteSize::from_bytes(77))
+                .resolve(corpus)
+                .unwrap(),
+            ByteSize::from_bytes(77)
+        );
+        assert!(CapacityConfig::FractionOfCorpus(0.0).resolve(corpus).is_err());
+        assert!(CapacityConfig::FractionOfCorpus(-1.0).resolve(corpus).is_err());
+        assert!(CapacityConfig::Bytes(ByteSize::ZERO).resolve(corpus).is_err());
+    }
+
+    #[test]
+    fn schemes_build() {
+        for h in [
+            HashingScheme::Static,
+            HashingScheme::Consistent { virtual_nodes: 8 },
+            HashingScheme::dynamic_rings(5, 1000, true),
+            HashingScheme::dynamic_ring_size(2, 1000, false),
+        ] {
+            assert!(h.build(10).is_ok(), "{h:?}");
+        }
+        for p in [
+            PlacementScheme::AdHoc,
+            PlacementScheme::BeaconPoint,
+            PlacementScheme::utility_default(),
+            PlacementScheme::utility_with_dscc(),
+        ] {
+            assert!(p.build().is_ok(), "{p:?}");
+        }
+        for r in [
+            ReplacementKind::Lru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Lfu,
+            ReplacementKind::GreedyDualSize,
+        ] {
+            let _ = r.build();
+        }
+    }
+
+    #[test]
+    fn invalid_utility_threshold_rejected() {
+        let bad = PlacementScheme::Utility {
+            weights: UtilityWeights::equal_three(),
+            threshold: 2.0,
+        };
+        assert!(CloudConfig::builder(4).placement(bad).build().is_err());
+    }
+}

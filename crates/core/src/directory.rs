@@ -1,0 +1,159 @@
+//! The cloud's lookup directory — the state beacon points maintain.
+//!
+//! "The beacon point of a document maintains the up-to-date lookup
+//! information, which includes a list of caches in the cloud that currently
+//! hold the document" (paper §2.1). The simulation keeps one logical
+//! directory per cloud and *attributes* each operation to the responsible
+//! beacon point through the active [`cachecloud_hashing::BeaconAssigner`];
+//! sub-range handoffs move the affected records between beacon points, and
+//! the simulator charges that transfer as traffic.
+
+use std::collections::{HashMap, HashSet};
+
+use cachecloud_types::{CacheId, DocId, Version};
+
+/// Per-document holder sets plus the origin-side version the cloud has seen.
+#[derive(Debug, Default)]
+pub struct CloudDirectory {
+    holders: HashMap<DocId, HashSet<CacheId>>,
+    versions: HashMap<DocId, Version>,
+}
+
+impl CloudDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `cache` as a holder of `doc`. Returns `true` if it was not
+    /// already registered.
+    pub fn register(&mut self, doc: &DocId, cache: CacheId) -> bool {
+        self.holders.entry(doc.clone()).or_default().insert(cache)
+    }
+
+    /// Unregisters `cache` as a holder of `doc` (after an eviction or
+    /// drop). Returns `true` if it was registered.
+    pub fn unregister(&mut self, doc: &DocId, cache: CacheId) -> bool {
+        match self.holders.get_mut(doc) {
+            Some(set) => {
+                let removed = set.remove(&cache);
+                if set.is_empty() {
+                    self.holders.remove(doc);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// The caches currently holding `doc`, in ascending id order (the
+    /// deterministic order the lookup response lists them in).
+    pub fn holders(&self, doc: &DocId) -> Vec<CacheId> {
+        let mut v: Vec<CacheId> = self
+            .holders
+            .get(doc)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of copies of `doc` in the cloud.
+    pub fn copy_count(&self, doc: &DocId) -> usize {
+        self.holders.get(doc).map_or(0, HashSet::len)
+    }
+
+    /// Whether any copy of `doc` exists in the cloud.
+    pub fn is_held(&self, doc: &DocId) -> bool {
+        self.holders.contains_key(doc)
+    }
+
+    /// Documents with at least one holder.
+    pub fn held_documents(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Total (document, holder) records — the directory's size, which is
+    /// what a sub-range handoff has to move.
+    pub fn total_records(&self) -> usize {
+        self.holders.values().map(HashSet::len).sum()
+    }
+
+    /// Iterates over all held documents and their holder counts.
+    pub fn iter_held(&self) -> impl Iterator<Item = (&DocId, usize)> {
+        self.holders.iter().map(|(d, s)| (d, s.len()))
+    }
+
+    /// Records that the cloud has seen `version` of `doc`.
+    pub fn note_version(&mut self, doc: &DocId, version: Version) {
+        let v = self.versions.entry(doc.clone()).or_insert(version);
+        if version > *v {
+            *v = version;
+        }
+    }
+
+    /// The latest version the cloud has seen of `doc`.
+    pub fn known_version(&self, doc: &DocId) -> Version {
+        self.versions.get(doc).copied().unwrap_or(Version::INITIAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(name: &str) -> DocId {
+        DocId::from_url(name)
+    }
+
+    #[test]
+    fn register_unregister_roundtrip() {
+        let mut dir = CloudDirectory::new();
+        assert!(dir.register(&d("/a"), CacheId(1)));
+        assert!(!dir.register(&d("/a"), CacheId(1)), "idempotent");
+        assert!(dir.register(&d("/a"), CacheId(3)));
+        assert_eq!(dir.holders(&d("/a")), vec![CacheId(1), CacheId(3)]);
+        assert_eq!(dir.copy_count(&d("/a")), 2);
+        assert!(dir.unregister(&d("/a"), CacheId(1)));
+        assert!(!dir.unregister(&d("/a"), CacheId(1)));
+        assert_eq!(dir.copy_count(&d("/a")), 1);
+    }
+
+    #[test]
+    fn empty_holder_sets_are_dropped() {
+        let mut dir = CloudDirectory::new();
+        dir.register(&d("/a"), CacheId(0));
+        dir.unregister(&d("/a"), CacheId(0));
+        assert!(!dir.is_held(&d("/a")));
+        assert_eq!(dir.held_documents(), 0);
+        assert_eq!(dir.total_records(), 0);
+    }
+
+    #[test]
+    fn holders_of_unknown_doc_is_empty() {
+        let dir = CloudDirectory::new();
+        assert!(dir.holders(&d("/ghost")).is_empty());
+        assert_eq!(dir.copy_count(&d("/ghost")), 0);
+    }
+
+    #[test]
+    fn record_counting() {
+        let mut dir = CloudDirectory::new();
+        dir.register(&d("/a"), CacheId(0));
+        dir.register(&d("/a"), CacheId(1));
+        dir.register(&d("/b"), CacheId(2));
+        assert_eq!(dir.held_documents(), 2);
+        assert_eq!(dir.total_records(), 3);
+        let held: Vec<usize> = dir.iter_held().map(|(_, n)| n).collect();
+        assert_eq!(held.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn versions_are_monotone() {
+        let mut dir = CloudDirectory::new();
+        assert_eq!(dir.known_version(&d("/a")), Version::INITIAL);
+        dir.note_version(&d("/a"), Version(3));
+        dir.note_version(&d("/a"), Version(1)); // stale notice ignored
+        assert_eq!(dir.known_version(&d("/a")), Version(3));
+    }
+}

@@ -1,0 +1,69 @@
+//! Cache clouds: cooperative caching of dynamic documents in edge networks.
+//!
+//! This crate is the top of the reproduction stack: it assembles the
+//! substrates (discrete-event engine, workload synthesis, network model,
+//! stores, hashing schemes, placement policies) into the system the paper
+//! describes — cache clouds whose caches cooperate on
+//!
+//! * **miss handling** — a local miss consults the document's beacon point
+//!   and fetches from a peer before falling back to the origin;
+//! * **update propagation** — the origin sends one update per cloud to the
+//!   document's beacon point, which fans it out to the current holders;
+//! * **placement** — each retrieved copy is stored or dropped according to
+//!   the configured placement policy.
+//!
+//! The entry point is [`EdgeNetworkSim`]: configure a cloud
+//! ([`CloudConfig`]), feed it a trace, and collect a [`SimReport`] with the
+//! paper's metrics (beacon-load distribution, hit breakdown, latency,
+//! network traffic, documents stored per cache).
+//!
+//! # Examples
+//!
+//! ```
+//! use cache_clouds::{CloudConfig, EdgeNetworkSim, HashingScheme, PlacementScheme};
+//! use cachecloud_workload::ZipfTraceBuilder;
+//!
+//! let trace = ZipfTraceBuilder::new()
+//!     .documents(300)
+//!     .caches(4)
+//!     .duration_minutes(30)
+//!     .requests_per_cache_per_minute(20.0)
+//!     .updates_per_minute(10.0)
+//!     .seed(1)
+//!     .build();
+//! let config = CloudConfig::builder(4)
+//!     .hashing(HashingScheme::dynamic_rings(2, 1000, true))
+//!     .placement(PlacementScheme::utility_default())
+//!     .seed(7)
+//!     .build()?;
+//! let report = EdgeNetworkSim::new(config, &trace)?.run();
+//! assert_eq!(report.requests, trace.request_count() as u64);
+//! assert!(report.local_hit_rate() > 0.0);
+//! # Ok::<(), cachecloud_types::CacheCloudError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cloud;
+pub mod config;
+pub mod directory;
+pub mod loadsim;
+pub mod multi;
+pub mod origin;
+pub mod report;
+pub mod sim;
+
+pub use cache::EdgeCache;
+pub use cloud::CacheCloud;
+pub use config::{
+    CapacityConfig, CloudConfig, CloudConfigBuilder, ConsistencyModel, HashingScheme,
+    PlacementScheme, ReplacementKind,
+};
+pub use directory::CloudDirectory;
+pub use loadsim::{replay_beacon_loads, BeaconLoadReport};
+pub use multi::{MultiCloudReport, MultiCloudSim};
+pub use origin::OriginServer;
+pub use report::SimReport;
+pub use sim::EdgeNetworkSim;

@@ -1,0 +1,158 @@
+//! Protocol-level replay of a trace against a beacon assigner, for the
+//! load-balancing experiments (paper §4.1, Figures 3–6).
+//!
+//! The paper's load-balancing study measures "the load in terms of the
+//! number of document updates and document lookups being handled by the
+//! beacon points per unit time", independent of the placement policy in
+//! force. This replay drives the assigner with exactly that event stream:
+//! every client request contributes one lookup at the document's beacon
+//! point, every origin update one update propagation, and the dynamic
+//! scheme re-determines its sub-ranges on the configured cycle.
+//!
+//! A warm-up of full cycles can be excluded from measurement so that the
+//! adaptive scheme is evaluated at steady state (its first cycle always
+//! starts from the uninformed equal split).
+
+use cachecloud_hashing::BeaconAssigner;
+use cachecloud_types::{SimDuration, SimTime};
+use cachecloud_workload::Trace;
+
+/// Outcome of a beacon-load replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeaconLoadReport {
+    /// Lookup+update load handled by each beacon point per unit time
+    /// (one minute), measured after the warm-up.
+    pub loads_per_unit: Vec<f64>,
+    /// Events that fell inside the measurement window.
+    pub measured_events: u64,
+    /// Sub-range handoffs performed across all cycles.
+    pub handoffs: u64,
+    /// Minutes of measured (post-warm-up) trace.
+    pub measured_minutes: f64,
+}
+
+/// Replays `trace` against `assigner`, rebalancing every `cycle` and
+/// measuring per-beacon loads after `warmup_cycles` full cycles.
+///
+/// # Panics
+///
+/// Panics if `cycle` is zero.
+pub fn replay_beacon_loads(
+    trace: &Trace,
+    assigner: &mut dyn BeaconAssigner,
+    cycle: SimDuration,
+    warmup_cycles: u32,
+) -> BeaconLoadReport {
+    assert!(!cycle.is_zero(), "cycle must be non-zero");
+    let beacons = assigner.beacon_points();
+    let max_index = beacons
+        .iter()
+        .map(|b| b.index())
+        .max()
+        .expect("assigner has beacon points");
+    let mut loads = vec![0.0f64; max_index + 1];
+    let measure_from = SimTime::ZERO + cycle * u64::from(warmup_cycles);
+
+    let mut next_cycle = SimTime::ZERO + cycle;
+    let mut measured_events = 0u64;
+    let mut handoffs = 0u64;
+    for event in trace.events() {
+        while event.at >= next_cycle {
+            handoffs += assigner.end_cycle().len() as u64;
+            next_cycle += cycle;
+        }
+        let doc = &trace.catalog().doc(event.doc).id;
+        let beacon = assigner.beacon_for(doc);
+        assigner.record_load(doc, 1.0);
+        if event.at >= measure_from {
+            loads[beacon.index()] += 1.0;
+            measured_events += 1;
+        }
+    }
+
+    let total_minutes = trace.duration().as_minutes_f64();
+    let warm_minutes = (cycle * u64::from(warmup_cycles)).as_minutes_f64();
+    let measured_minutes = (total_minutes - warm_minutes).max(f64::MIN_POSITIVE);
+    let loads_per_unit = beacons
+        .iter()
+        .map(|b| loads[b.index()] / measured_minutes)
+        .collect();
+    BeaconLoadReport {
+        loads_per_unit,
+        measured_events,
+        handoffs,
+        measured_minutes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecloud_hashing::{DynamicHashing, RingLayout, StaticHashing};
+    use cachecloud_metrics::Summary;
+    use cachecloud_types::{CacheId, Capability};
+    use cachecloud_workload::ZipfTraceBuilder;
+
+    fn trace(theta: f64) -> Trace {
+        ZipfTraceBuilder::new()
+            .documents(2000)
+            .theta(theta)
+            .caches(10)
+            .duration_minutes(120)
+            .requests_per_cache_per_minute(40.0)
+            .updates_per_minute(40.0)
+            .seed(8)
+            .build()
+    }
+
+    fn dynamic() -> DynamicHashing {
+        let caches: Vec<(CacheId, Capability)> =
+            (0..10).map(|i| (CacheId(i), Capability::UNIT)).collect();
+        DynamicHashing::new(&caches, RingLayout::points_per_ring(2), 1000, true).unwrap()
+    }
+
+    #[test]
+    fn all_events_measured_without_warmup() {
+        let tr = trace(0.9);
+        let mut stat = StaticHashing::new((0..10).map(CacheId).collect()).unwrap();
+        let rep = replay_beacon_loads(&tr, &mut stat, SimDuration::from_minutes(30), 0);
+        assert_eq!(rep.measured_events as usize, tr.events().len());
+        assert_eq!(rep.handoffs, 0, "static hashing never hands off");
+        let total: f64 = rep.loads_per_unit.iter().sum::<f64>() * rep.measured_minutes;
+        assert!((total - tr.events().len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_excludes_early_cycles() {
+        let tr = trace(0.9);
+        let mut stat = StaticHashing::new((0..10).map(CacheId).collect()).unwrap();
+        let all = replay_beacon_loads(&tr, &mut stat, SimDuration::from_minutes(30), 0);
+        let warm = replay_beacon_loads(&tr, &mut stat, SimDuration::from_minutes(30), 2);
+        assert!(warm.measured_events < all.measured_events);
+        assert!((warm.measured_minutes - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_balances_better_than_static_on_skewed_load() {
+        let tr = trace(0.9);
+        let mut stat = StaticHashing::new((0..10).map(CacheId).collect()).unwrap();
+        let mut dynamic = dynamic();
+        let s = replay_beacon_loads(&tr, &mut stat, SimDuration::from_minutes(30), 1);
+        let d = replay_beacon_loads(&tr, &mut dynamic, SimDuration::from_minutes(30), 1);
+        let s_cov = Summary::of(&s.loads_per_unit).coefficient_of_variation();
+        let d_cov = Summary::of(&d.loads_per_unit).coefficient_of_variation();
+        assert!(
+            d_cov < s_cov,
+            "dynamic CoV {d_cov} should beat static CoV {s_cov}"
+        );
+        assert!(d.handoffs > 0, "skewed load must trigger handoffs");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle must be non-zero")]
+    fn zero_cycle_panics() {
+        let tr = trace(0.5);
+        let mut stat = StaticHashing::new((0..10).map(CacheId).collect()).unwrap();
+        let _ = replay_beacon_loads(&tr, &mut stat, SimDuration::ZERO, 0);
+    }
+}

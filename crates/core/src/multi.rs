@@ -1,0 +1,338 @@
+//! A whole edge network: several cache clouds sharing one origin server.
+//!
+//! The paper's architecture (Figure 1) has the origin serving many cache
+//! clouds; each document has one beacon point *per cloud*, and the origin
+//! sends one update message per cloud holding the document, instead of one
+//! per cache — the second headline benefit of cooperation ("the server
+//! needs to send a document update message to only one cache in a cache
+//! cloud").
+//!
+//! [`MultiCloudSim`] partitions a trace's caches into clouds (e.g. with
+//! [`cachecloud_net::landmarks`]) and replays the trace across them,
+//! reporting per-cloud metrics plus the origin's update fan-out — both with
+//! cooperation (messages = clouds holding the document) and under the
+//! no-cooperation counterfactual (messages = individual holders).
+
+use cachecloud_types::{CacheCloudError, CacheId, SimDuration, SimTime};
+use cachecloud_workload::{Trace, TraceEventKind};
+
+use crate::cloud::CacheCloud;
+use crate::config::CloudConfig;
+use crate::origin::OriginServer;
+use crate::report::SimReport;
+
+/// Aggregate outcome of a multi-cloud run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCloudReport {
+    /// One report per cloud, in membership order.
+    pub clouds: Vec<SimReport>,
+    /// Update messages the origin sent (one per cloud holding the updated
+    /// document).
+    pub origin_update_messages: u64,
+    /// Update messages the origin would have sent without cache clouds
+    /// (one per individual holder).
+    pub origin_update_messages_without_clouds: u64,
+    /// Total update-trace entries.
+    pub updates_seen: u64,
+}
+
+impl MultiCloudReport {
+    /// Total requests across all clouds.
+    pub fn requests(&self) -> u64 {
+        self.clouds.iter().map(|c| c.requests).sum()
+    }
+
+    /// Factor by which cache clouds reduce the origin's update fan-out
+    /// (≥ 1; higher is better). 1.0 when no update was ever propagated.
+    pub fn update_fanout_reduction(&self) -> f64 {
+        if self.origin_update_messages == 0 {
+            1.0
+        } else {
+            self.origin_update_messages_without_clouds as f64
+                / self.origin_update_messages as f64
+        }
+    }
+}
+
+/// Several cache clouds replaying one trace against a shared origin.
+pub struct MultiCloudSim {
+    clouds: Vec<CacheCloud>,
+    origin: OriginServer,
+    /// Global cache id → (cloud index, cloud-local cache id).
+    assignment: Vec<(usize, CacheId)>,
+    cycle: SimDuration,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for MultiCloudSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiCloudSim")
+            .field("clouds", &self.clouds.len())
+            .field("caches", &self.assignment.len())
+            .finish()
+    }
+}
+
+impl MultiCloudSim {
+    /// Builds a multi-cloud network.
+    ///
+    /// `membership[j]` lists the *global* cache indices forming cloud `j`
+    /// (e.g. the output of [`cachecloud_net::cluster_by_landmarks`]);
+    /// `template` provides every per-cloud setting except `num_caches`,
+    /// which is taken from each cloud's size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] if the membership does not
+    /// partition exactly the trace's caches, and propagates per-cloud
+    /// configuration errors.
+    pub fn new(
+        membership: &[Vec<usize>],
+        template: &CloudConfig,
+        trace: &Trace,
+    ) -> cachecloud_types::Result<Self> {
+        let total = trace.num_caches();
+        let mut assignment = vec![None; total];
+        for (cloud_idx, members) in membership.iter().enumerate() {
+            if members.is_empty() {
+                return Err(CacheCloudError::InvalidConfig {
+                    param: "membership",
+                    reason: format!("cloud {cloud_idx} is empty"),
+                });
+            }
+            for (local, &global) in members.iter().enumerate() {
+                if global >= total {
+                    return Err(CacheCloudError::InvalidConfig {
+                        param: "membership",
+                        reason: format!(
+                            "cache {global} is outside the trace's {total} caches"
+                        ),
+                    });
+                }
+                if assignment[global].is_some() {
+                    return Err(CacheCloudError::InvalidConfig {
+                        param: "membership",
+                        reason: format!("cache {global} appears in two clouds"),
+                    });
+                }
+                assignment[global] = Some((cloud_idx, CacheId(local)));
+            }
+        }
+        let assignment: Vec<(usize, CacheId)> = assignment
+            .into_iter()
+            .enumerate()
+            .map(|(global, a)| {
+                a.ok_or_else(|| CacheCloudError::InvalidConfig {
+                    param: "membership",
+                    reason: format!("cache {global} belongs to no cloud"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let corpus = trace.catalog().total_size();
+        let clouds = membership
+            .iter()
+            .map(|members| {
+                let mut cfg = template.clone();
+                cfg.num_caches = members.len();
+                CacheCloud::new(cfg, corpus)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MultiCloudSim {
+            clouds,
+            origin: OriginServer::new(template.monitor_half_life),
+            assignment,
+            cycle: template.cycle,
+            trace: trace.clone(),
+        })
+    }
+
+    /// Number of clouds.
+    pub fn num_clouds(&self) -> usize {
+        self.clouds.len()
+    }
+
+    /// Runs the whole trace.
+    pub fn run(mut self) -> MultiCloudReport {
+        let duration = self.trace.duration();
+        let mut next_cycle = SimTime::ZERO + self.cycle;
+        let mut origin_update_messages = 0u64;
+        let mut origin_update_messages_without = 0u64;
+
+        for event in self.trace.events() {
+            while event.at >= next_cycle {
+                for cloud in &mut self.clouds {
+                    cloud.end_cycle(next_cycle);
+                }
+                next_cycle += self.cycle;
+            }
+            let spec = self.trace.catalog().doc(event.doc);
+            match event.kind {
+                TraceEventKind::Request { cache } => {
+                    let (cloud_idx, local) = self.assignment[cache.index()];
+                    let version = self.origin.version(&spec.id);
+                    let rate = self.origin.update_rate(&spec.id, event.at);
+                    self.clouds[cloud_idx].handle_request(
+                        spec, local, version, rate, event.at,
+                    );
+                }
+                TraceEventKind::Update => {
+                    let version = self.origin.apply_update(&spec.id, event.at);
+                    for cloud in &mut self.clouds {
+                        let holders = cloud.directory().copy_count(&spec.id) as u64;
+                        let before = cloud.stats().updates_propagated;
+                        cloud.handle_update(spec, version, event.at);
+                        if cloud.stats().updates_propagated > before {
+                            origin_update_messages += 1;
+                            origin_update_messages_without += holders;
+                        }
+                    }
+                }
+            }
+        }
+
+        let minutes = duration.as_minutes_f64().max(f64::MIN_POSITIVE);
+        let updates_seen = self.origin.updates();
+        let clouds = self
+            .clouds
+            .into_iter()
+            .map(|cloud| cloud_report(cloud, minutes, self.trace.catalog().len()))
+            .collect();
+        MultiCloudReport {
+            clouds,
+            origin_update_messages,
+            origin_update_messages_without_clouds: origin_update_messages_without,
+            updates_seen,
+        }
+    }
+}
+
+fn cloud_report(cloud: CacheCloud, minutes: f64, catalog: usize) -> SimReport {
+    let stats = cloud.stats();
+    SimReport {
+        hashing: cloud.assigner().name().to_owned(),
+        placement: cloud
+            .config()
+            .placement
+            .build()
+            .map_or_else(|_| "unknown".to_owned(), |p| p.name().to_owned()),
+        duration_minutes: minutes,
+        catalog_size: catalog,
+        requests: stats.requests,
+        local_hits: stats.local_hits,
+        cloud_hits: stats.cloud_hits,
+        origin_fetches: stats.origin_fetches,
+        updates_seen: 0, // trace-global; reported on MultiCloudReport
+        updates_propagated: stats.updates_propagated,
+        update_deliveries: stats.update_deliveries,
+        stores: stats.stores,
+        drops: stats.drops,
+        evictions: cloud.total_evictions(),
+        handoff_records: stats.handoff_records,
+        cycles: stats.cycles,
+        stale_serves: stats.stale_serves,
+        revalidations: stats.revalidations,
+        beacon_loads_per_unit: cloud.beacon_loads().iter().map(|l| l / minutes).collect(),
+        mean_latency_ms: cloud.mean_latency().as_secs_f64() * 1000.0,
+        p50_latency_ms: cloud.latency_quantile_ms(0.5),
+        p99_latency_ms: cloud.latency_quantile_ms(0.99),
+        traffic_mb_per_unit: cloud.traffic().mb_per_unit_time(minutes.ceil().max(1.0) as usize),
+        intra_cloud_mb: cloud.traffic().intra_cloud_total().as_mb_f64(),
+        wide_area_mb: cloud.traffic().wide_area_total().as_mb_f64(),
+        docs_stored_per_cache: cloud.docs_stored_per_cache(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HashingScheme, PlacementScheme};
+    use cachecloud_workload::ZipfTraceBuilder;
+
+    fn trace(caches: usize) -> Trace {
+        ZipfTraceBuilder::new()
+            .documents(300)
+            .caches(caches)
+            .duration_minutes(40)
+            .requests_per_cache_per_minute(20.0)
+            .updates_per_minute(20.0)
+            .seed(13)
+            .build()
+    }
+
+    fn template() -> CloudConfig {
+        // `num_caches` is overridden per cloud; 4 here only satisfies the
+        // template's own validation.
+        CloudConfig::builder(4)
+            .hashing(HashingScheme::dynamic_ring_size(2, 1000, true))
+            .placement(PlacementScheme::AdHoc)
+            .cycle(SimDuration::from_minutes(20))
+            .seed(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partitions_and_replays_everything() {
+        let tr = trace(8);
+        let membership = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let sim = MultiCloudSim::new(&membership, &template(), &tr).unwrap();
+        assert_eq!(sim.num_clouds(), 2);
+        let report = sim.run();
+        assert_eq!(report.requests(), tr.request_count() as u64);
+        assert_eq!(report.updates_seen, tr.update_count() as u64);
+        for c in &report.clouds {
+            assert_eq!(c.requests, c.local_hits + c.cloud_hits + c.origin_fetches);
+        }
+    }
+
+    #[test]
+    fn update_fanout_is_reduced_by_clouds() {
+        let tr = trace(8);
+        let membership = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        let report = MultiCloudSim::new(&membership, &template(), &tr)
+            .unwrap()
+            .run();
+        // With ad hoc placement, popular documents have many holders per
+        // cloud, so per-cloud messaging must beat per-holder messaging.
+        assert!(
+            report.update_fanout_reduction() > 1.2,
+            "reduction {}",
+            report.update_fanout_reduction()
+        );
+        assert!(report.origin_update_messages > 0);
+    }
+
+    #[test]
+    fn bad_memberships_are_rejected() {
+        let tr = trace(4);
+        let t = template();
+        // Overlapping.
+        assert!(MultiCloudSim::new(&[vec![0, 1], vec![1, 2, 3]], &t, &tr).is_err());
+        // Missing a cache.
+        assert!(MultiCloudSim::new(&[vec![0, 1], vec![2]], &t, &tr).is_err());
+        // Out of range.
+        assert!(MultiCloudSim::new(&[vec![0, 1], vec![2, 9]], &t, &tr).is_err());
+        // Empty cloud.
+        assert!(MultiCloudSim::new(&[vec![0, 1, 2, 3], vec![]], &t, &tr).is_err());
+    }
+
+    #[test]
+    fn clouds_are_isolated() {
+        // A document fetched only in cloud 0 never occupies cloud 1.
+        let tr = trace(4);
+        let membership = vec![vec![0, 1], vec![2, 3]];
+        let report = MultiCloudSim::new(&membership, &template(), &tr)
+            .unwrap()
+            .run();
+        // Both clouds served some traffic and fetched independently from
+        // the origin (no cross-cloud peering).
+        assert!(report.clouds[0].origin_fetches > 0);
+        assert!(report.clouds[1].origin_fetches > 0);
+        let total_origin: u64 = report.clouds.iter().map(|c| c.origin_fetches).sum();
+        assert!(
+            total_origin > report.clouds[0].origin_fetches,
+            "each cloud pays its own group misses"
+        );
+    }
+}

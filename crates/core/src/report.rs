@@ -1,0 +1,190 @@
+//! The end-of-run report: the paper's metrics in one serializable struct.
+
+use cachecloud_metrics::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Everything a simulation run measured.
+///
+/// All "per unit time" figures use the paper's unit of one minute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Hashing scheme name.
+    pub hashing: String,
+    /// Placement policy name.
+    pub placement: String,
+    /// Trace span in minutes.
+    pub duration_minutes: f64,
+    /// Documents in the trace catalog.
+    pub catalog_size: usize,
+    /// Client requests handled.
+    pub requests: u64,
+    /// Requests served from the receiving cache.
+    pub local_hits: u64,
+    /// Local misses served by cloud peers.
+    pub cloud_hits: u64,
+    /// Group misses served by the origin.
+    pub origin_fetches: u64,
+    /// Update-trace entries applied at the origin.
+    pub updates_seen: u64,
+    /// Updates the cloud accepted and propagated.
+    pub updates_propagated: u64,
+    /// Update deliveries fanned out to holders.
+    pub update_deliveries: u64,
+    /// Copies stored by placement.
+    pub stores: u64,
+    /// Copies dropped by placement.
+    pub drops: u64,
+    /// Evictions across all caches.
+    pub evictions: u64,
+    /// Directory records moved by sub-range handoffs.
+    pub handoff_records: u64,
+    /// Rebalancing cycles executed.
+    pub cycles: u64,
+    /// Requests served a stale version (TTL consistency only).
+    pub stale_serves: u64,
+    /// TTL revalidations performed against the origin.
+    pub revalidations: u64,
+    /// Lookup+update load handled by each beacon point, per unit time.
+    pub beacon_loads_per_unit: Vec<f64>,
+    /// Mean client-perceived latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median client-perceived latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile client-perceived latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Network load in MB transferred per unit time (all scopes).
+    pub traffic_mb_per_unit: f64,
+    /// Total MB moved between caches of the cloud.
+    pub intra_cloud_mb: f64,
+    /// Total MB moved to/from the origin.
+    pub wide_area_mb: f64,
+    /// Documents resident at each cache at the end of the run.
+    pub docs_stored_per_cache: Vec<usize>,
+}
+
+impl SimReport {
+    /// Fraction of requests answered from the receiving cache.
+    pub fn local_hit_rate(&self) -> f64 {
+        ratio(self.local_hits, self.requests)
+    }
+
+    /// Fraction of requests answered inside the cloud (local or peer).
+    pub fn cloud_hit_rate(&self) -> f64 {
+        ratio(self.local_hits + self.cloud_hits, self.requests)
+    }
+
+    /// Fraction of requests that reached the origin.
+    pub fn origin_rate(&self) -> f64 {
+        ratio(self.origin_fetches, self.requests)
+    }
+
+    /// Fraction of requests served a version older than the origin's
+    /// (always 0 under the paper's server-push consistency).
+    pub fn staleness_rate(&self) -> f64 {
+        ratio(self.stale_serves, self.requests)
+    }
+
+    /// Summary statistics of the per-beacon load distribution.
+    pub fn beacon_load_summary(&self) -> Summary {
+        Summary::of(&self.beacon_loads_per_unit)
+    }
+
+    /// The paper's Figure 7 metric: mean percentage of the catalog stored
+    /// per cache at the end of the run.
+    pub fn pct_docs_stored_per_cache(&self) -> f64 {
+        if self.catalog_size == 0 || self.docs_stored_per_cache.is_empty() {
+            return 0.0;
+        }
+        let mean_docs: f64 = self.docs_stored_per_cache.iter().map(|&n| n as f64).sum::<f64>()
+            / self.docs_stored_per_cache.len() as f64;
+        mean_docs / self.catalog_size as f64 * 100.0
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            hashing: "dynamic".into(),
+            placement: "utility".into(),
+            duration_minutes: 60.0,
+            catalog_size: 200,
+            requests: 1000,
+            local_hits: 600,
+            cloud_hits: 300,
+            origin_fetches: 100,
+            updates_seen: 50,
+            updates_propagated: 40,
+            update_deliveries: 120,
+            stores: 350,
+            drops: 50,
+            evictions: 10,
+            handoff_records: 5,
+            cycles: 1,
+            stale_serves: 5,
+            revalidations: 7,
+            beacon_loads_per_unit: vec![10.0, 20.0, 30.0, 40.0],
+            mean_latency_ms: 12.5,
+            p50_latency_ms: 8.0,
+            p99_latency_ms: 90.0,
+            traffic_mb_per_unit: 3.4,
+            intra_cloud_mb: 100.0,
+            wide_area_mb: 50.0,
+            docs_stored_per_cache: vec![100, 50],
+        }
+    }
+
+    #[test]
+    fn hit_rates() {
+        let r = report();
+        assert_eq!(r.local_hit_rate(), 0.6);
+        assert_eq!(r.cloud_hit_rate(), 0.9);
+        assert_eq!(r.origin_rate(), 0.1);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let r = SimReport {
+            requests: 0,
+            local_hits: 0,
+            cloud_hits: 0,
+            origin_fetches: 0,
+            catalog_size: 0,
+            docs_stored_per_cache: vec![],
+            ..report()
+        };
+        assert_eq!(r.local_hit_rate(), 0.0);
+        assert_eq!(r.pct_docs_stored_per_cache(), 0.0);
+    }
+
+    #[test]
+    fn beacon_load_summary_matches() {
+        let s = report().beacon_load_summary();
+        assert_eq!(s.mean, 25.0);
+        assert_eq!(s.max, 40.0);
+    }
+
+    #[test]
+    fn pct_docs_stored() {
+        // Mean of (100, 50) = 75 of 200 docs = 37.5 %.
+        assert_eq!(report().pct_docs_stored_per_cache(), 37.5);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = serde_json::to_string(&report()).unwrap();
+        assert!(s.contains("\"hashing\":\"dynamic\""));
+        let back: SimReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, report());
+    }
+}

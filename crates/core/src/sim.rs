@@ -1,0 +1,305 @@
+//! The trace-driven simulation driver.
+
+use std::sync::Arc;
+
+use cachecloud_sim::Simulation;
+use cachecloud_types::{CacheCloudError, SimDuration, SimTime};
+use cachecloud_workload::{Trace, TraceEventKind};
+
+use crate::cloud::CacheCloud;
+use crate::config::CloudConfig;
+use crate::origin::OriginServer;
+use crate::report::SimReport;
+
+/// State threaded through the discrete-event engine.
+struct SimState {
+    cloud: CacheCloud,
+    origin: OriginServer,
+    trace: Arc<Trace>,
+    cursor: usize,
+}
+
+/// Replays a trace against one configured cache cloud.
+///
+/// Each trace event is handled as an atomic protocol transaction at its
+/// timestamp (the granularity the paper's evaluation reports at), and the
+/// sub-range determination runs as a periodic event on the configured cycle
+/// (one hour in the paper's experiments).
+///
+/// # Examples
+///
+/// ```
+/// use cache_clouds::{CloudConfig, EdgeNetworkSim, PlacementScheme};
+/// use cachecloud_workload::ZipfTraceBuilder;
+///
+/// let trace = ZipfTraceBuilder::new()
+///     .documents(100).caches(2).duration_minutes(10)
+///     .requests_per_cache_per_minute(10.0).updates_per_minute(5.0)
+///     .seed(3).build();
+/// let config = CloudConfig::builder(2)
+///     .placement(PlacementScheme::AdHoc)
+///     .build()?;
+/// let report = EdgeNetworkSim::new(config, &trace)?.run();
+/// assert!(report.cloud_hit_rate() <= 1.0);
+/// # Ok::<(), cachecloud_types::CacheCloudError>(())
+/// ```
+pub struct EdgeNetworkSim {
+    state: SimState,
+    cycle: SimDuration,
+    duration: SimDuration,
+}
+
+impl std::fmt::Debug for EdgeNetworkSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeNetworkSim")
+            .field("cycle", &self.cycle)
+            .field("duration", &self.duration)
+            .field("events", &self.state.trace.events().len())
+            .finish()
+    }
+}
+
+impl EdgeNetworkSim {
+    /// Prepares a run of `config` against `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] if the trace addresses a
+    /// different number of caches than the cloud has, and propagates
+    /// configuration errors.
+    pub fn new(config: CloudConfig, trace: &Trace) -> cachecloud_types::Result<Self> {
+        if trace.num_caches() != config.num_caches {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "num_caches",
+                reason: format!(
+                    "trace addresses {} caches but the cloud has {}",
+                    trace.num_caches(),
+                    config.num_caches
+                ),
+            });
+        }
+        let cycle = config.cycle;
+        let monitor = config.monitor_half_life;
+        let cloud = CacheCloud::new(config, trace.catalog().total_size())?;
+        Ok(EdgeNetworkSim {
+            state: SimState {
+                cloud,
+                origin: OriginServer::new(monitor),
+                trace: Arc::new(trace.clone()),
+                cursor: 0,
+            },
+            cycle,
+            duration: trace.duration(),
+        })
+    }
+
+    /// Runs the whole trace and reports.
+    pub fn run(self) -> SimReport {
+        let EdgeNetworkSim {
+            state,
+            cycle,
+            duration,
+        } = self;
+        let mut sim = Simulation::new(state);
+
+        // Periodic sub-range determination, aligned to cycle boundaries.
+        sim.schedule_periodic(SimTime::ZERO + cycle, cycle, move |sim| {
+            let now = sim.now();
+            sim.state_mut().cloud.end_cycle(now);
+            now < SimTime::ZERO + duration
+        });
+
+        // Cursor-driven trace replay: each event handler processes one trace
+        // record and schedules the next, keeping the queue tiny.
+        fn pump(sim: &mut Simulation<SimState>) {
+            let (at, idx) = {
+                let st = sim.state();
+                match st.trace.events().get(st.cursor) {
+                    Some(e) => (e.at, st.cursor),
+                    None => return,
+                }
+            };
+            sim.schedule_at(at, move |sim| {
+                let now = sim.now();
+                let st = sim.state_mut();
+                let trace = Arc::clone(&st.trace);
+                let event = trace.events()[idx];
+                let spec = trace.catalog().doc(event.doc);
+                match event.kind {
+                    TraceEventKind::Request { cache } => {
+                        let version = st.origin.version(&spec.id);
+                        let update_rate = st.origin.update_rate(&spec.id, now);
+                        st.cloud
+                            .handle_request(spec, cache, version, update_rate, now);
+                    }
+                    TraceEventKind::Update => {
+                        let version = st.origin.apply_update(&spec.id, now);
+                        st.cloud.handle_update(spec, version, now);
+                    }
+                }
+                st.cursor += 1;
+                pump(sim);
+            });
+        }
+        pump(&mut sim);
+
+        sim.run_until(SimTime::ZERO + duration);
+        let state = sim.into_state();
+        Self::report(state, duration)
+    }
+
+    fn report(state: SimState, duration: SimDuration) -> SimReport {
+        let SimState {
+            cloud,
+            origin,
+            trace,
+            ..
+        } = state;
+        let minutes = duration.as_minutes_f64().max(f64::MIN_POSITIVE);
+        let stats = cloud.stats();
+        let beacon_loads_per_unit: Vec<f64> = cloud
+            .beacon_loads()
+            .iter()
+            .map(|l| l / minutes)
+            .collect();
+        SimReport {
+            hashing: cloud.assigner().name().to_owned(),
+            placement: cloud.config().placement.build().map_or_else(
+                |_| "unknown".to_owned(),
+                |p| p.name().to_owned(),
+            ),
+            duration_minutes: minutes,
+            catalog_size: trace.catalog().len(),
+            requests: stats.requests,
+            local_hits: stats.local_hits,
+            cloud_hits: stats.cloud_hits,
+            origin_fetches: stats.origin_fetches,
+            updates_seen: origin.updates(),
+            updates_propagated: stats.updates_propagated,
+            update_deliveries: stats.update_deliveries,
+            stores: stats.stores,
+            drops: stats.drops,
+            evictions: cloud.total_evictions(),
+            handoff_records: stats.handoff_records,
+            cycles: stats.cycles,
+            stale_serves: stats.stale_serves,
+            revalidations: stats.revalidations,
+            beacon_loads_per_unit,
+            mean_latency_ms: cloud.mean_latency().as_secs_f64() * 1000.0,
+            p50_latency_ms: cloud.latency_quantile_ms(0.5),
+            p99_latency_ms: cloud.latency_quantile_ms(0.99),
+            traffic_mb_per_unit: cloud
+                .traffic()
+                .mb_per_unit_time(minutes.ceil().max(1.0) as usize),
+            intra_cloud_mb: cloud.traffic().intra_cloud_total().as_mb_f64(),
+            wide_area_mb: cloud.traffic().wide_area_total().as_mb_f64(),
+            docs_stored_per_cache: cloud.docs_stored_per_cache(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CloudConfig, HashingScheme, PlacementScheme};
+    use cachecloud_workload::ZipfTraceBuilder;
+
+    fn small_trace(seed: u64) -> Trace {
+        ZipfTraceBuilder::new()
+            .documents(300)
+            .caches(4)
+            .duration_minutes(30)
+            .requests_per_cache_per_minute(30.0)
+            .updates_per_minute(15.0)
+            .seed(seed)
+            .build()
+    }
+
+    fn config(placement: PlacementScheme) -> CloudConfig {
+        CloudConfig::builder(4)
+            .hashing(HashingScheme::dynamic_rings(2, 1000, true))
+            .placement(placement)
+            .cycle(SimDuration::from_minutes(10))
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn replays_every_event() {
+        let trace = small_trace(1);
+        let report = EdgeNetworkSim::new(config(PlacementScheme::AdHoc), &trace)
+            .unwrap()
+            .run();
+        assert_eq!(report.requests, trace.request_count() as u64);
+        assert_eq!(report.updates_seen, trace.update_count() as u64);
+        assert_eq!(
+            report.requests,
+            report.local_hits + report.cloud_hits + report.origin_fetches
+        );
+    }
+
+    #[test]
+    fn runs_expected_number_of_cycles() {
+        let trace = small_trace(2);
+        let report = EdgeNetworkSim::new(config(PlacementScheme::AdHoc), &trace)
+            .unwrap()
+            .run();
+        // 30-minute trace with 10-minute cycles: boundary events at 10, 20
+        // and 30 minutes.
+        assert_eq!(report.cycles, 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let trace = small_trace(3);
+        let r1 = EdgeNetworkSim::new(config(PlacementScheme::utility_default()), &trace)
+            .unwrap()
+            .run();
+        let r2 = EdgeNetworkSim::new(config(PlacementScheme::utility_default()), &trace)
+            .unwrap()
+            .run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn adhoc_stores_more_than_beacon() {
+        let trace = small_trace(4);
+        let adhoc = EdgeNetworkSim::new(config(PlacementScheme::AdHoc), &trace)
+            .unwrap()
+            .run();
+        let beacon = EdgeNetworkSim::new(config(PlacementScheme::BeaconPoint), &trace)
+            .unwrap()
+            .run();
+        assert!(
+            adhoc.pct_docs_stored_per_cache() > beacon.pct_docs_stored_per_cache(),
+            "adhoc {} vs beacon {}",
+            adhoc.pct_docs_stored_per_cache(),
+            beacon.pct_docs_stored_per_cache()
+        );
+        // Beacon placement keeps at most one copy per document.
+        let total_docs: usize = beacon.docs_stored_per_cache.iter().sum();
+        assert!(total_docs <= trace.catalog().len());
+    }
+
+    #[test]
+    fn mismatched_cache_count_is_rejected() {
+        let trace = small_trace(5);
+        let cfg = CloudConfig::builder(8)
+            .hashing(HashingScheme::Static)
+            .build()
+            .unwrap();
+        assert!(EdgeNetworkSim::new(cfg, &trace).is_err());
+    }
+
+    #[test]
+    fn traffic_and_latency_are_positive() {
+        let trace = small_trace(6);
+        let report = EdgeNetworkSim::new(config(PlacementScheme::utility_default()), &trace)
+            .unwrap()
+            .run();
+        assert!(report.traffic_mb_per_unit > 0.0);
+        assert!(report.mean_latency_ms > 0.0);
+        assert!(report.intra_cloud_mb + report.wide_area_mb > 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! The [`BeaconAssigner`] abstraction shared by all hashing schemes.
+
+use cachecloud_types::{CacheId, DocId, RingId};
+
+/// A transfer of beacon responsibility for a span of intra-ring hash values
+/// from one beacon point to another, produced by a rebalancing cycle.
+///
+/// The simulator charges the directory-handoff traffic this implies:
+/// "Beacon points that have been assigned new IrH values obtain lookup
+/// records of the documents belonging to the new IrH values from their
+/// current beacon points" (paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handoff {
+    /// The beacon ring in which the transfer happened.
+    pub ring: RingId,
+    /// The beacon point that shed the values.
+    pub from: CacheId,
+    /// The beacon point that acquired the values.
+    pub to: CacheId,
+    /// First transferred IrH value (inclusive).
+    pub irh_lo: u64,
+    /// Last transferred IrH value (inclusive).
+    pub irh_hi: u64,
+}
+
+impl Handoff {
+    /// Number of IrH values transferred.
+    pub fn width(&self) -> u64 {
+        self.irh_hi - self.irh_lo + 1
+    }
+}
+
+/// Assigns a beacon point to every document and (for adaptive schemes)
+/// reacts to observed load.
+///
+/// Implementations must be deterministic: the same document maps to the same
+/// beacon point until loads change and [`BeaconAssigner::end_cycle`] runs.
+pub trait BeaconAssigner: std::fmt::Debug + Send {
+    /// Short scheme name for reports ("static", "consistent", "dynamic").
+    fn name(&self) -> &'static str;
+
+    /// The beacon point currently responsible for `doc`.
+    fn beacon_for(&self, doc: &DocId) -> CacheId;
+
+    /// All caches that can serve as beacon points, in index order.
+    fn beacon_points(&self) -> Vec<CacheId>;
+
+    /// Records `amount` of lookup/update load attributed to `doc` during the
+    /// current cycle. Non-adaptive schemes ignore this.
+    fn record_load(&mut self, _doc: &DocId, _amount: f64) {}
+
+    /// Ends the current load-measurement cycle, re-determining assignments.
+    /// Returns the responsibility transfers performed (empty for
+    /// non-adaptive schemes).
+    fn end_cycle(&mut self) -> Vec<Handoff> {
+        Vec::new()
+    }
+
+    /// Number of network hops a cache needs to discover the beacon point of
+    /// `doc`. One for schemes with full local knowledge; `O(log n)` for
+    /// consistent hashing's distributed discovery (paper §2.1).
+    fn discovery_hops(&self, _doc: &DocId) -> u32 {
+        1
+    }
+
+    /// Reacts to the failure of `cache`, reassigning its responsibilities.
+    /// Returns `true` if the scheme could absorb the failure.
+    fn handle_failure(&mut self, _cache: CacheId) -> bool {
+        false
+    }
+
+    /// Whether `doc`'s lookup record is among those a given handoff moves
+    /// (i.e. the document maps to the handoff's ring and its IrH value lies
+    /// in the transferred span). Always false for schemes without rings.
+    fn doc_in_handoff(&self, _doc: &DocId, _handoff: &Handoff) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_width() {
+        let h = Handoff {
+            ring: RingId(0),
+            from: CacheId(0),
+            to: CacheId(1),
+            irh_lo: 3,
+            irh_hi: 4,
+        };
+        assert_eq!(h.width(), 2);
+        let single = Handoff { irh_hi: 3, ..h };
+        assert_eq!(single.width(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Consistent hashing (Karger et al., cited as \[5\] by the paper).
+//!
+//! Documents and cache identifiers are mapped onto a unit circle (here the
+//! full `u64` space); each document is assigned to the nearest cache
+//! clockwise. The paper discusses this scheme as a baseline and rejects it
+//! for beacon assignment because (a) distributed beacon discovery costs up
+//! to `O(log n)` hops and (b) uniform URL distribution is not load balance
+//! under Zipf-skewed traffic. We implement it to quantify both claims.
+
+use cachecloud_types::md5;
+use cachecloud_types::{CacheId, DocId};
+
+use crate::assigner::BeaconAssigner;
+
+/// Karger-style consistent hashing with virtual nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_hashing::{BeaconAssigner, ConsistentHashing};
+/// use cachecloud_types::{CacheId, DocId};
+///
+/// let mut ch = ConsistentHashing::new((0..10).map(CacheId).collect(), 40).unwrap();
+/// let doc = DocId::from_url("/a");
+/// let before = ch.beacon_for(&doc);
+/// assert!(before.index() < 10);
+/// // Removing an unrelated cache moves only the documents it owned.
+/// let victim = CacheId((before.index() + 1) % 10);
+/// ch.handle_failure(victim);
+/// assert_eq!(ch.beacon_for(&doc), before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConsistentHashing {
+    /// Circle points sorted by position: (position, owner).
+    circle: Vec<(u64, CacheId)>,
+    caches: Vec<CacheId>,
+    virtual_nodes: usize,
+}
+
+impl ConsistentHashing {
+    /// Creates the scheme with `virtual_nodes` circle points per cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cachecloud_types::CacheCloudError::InvalidConfig`] if
+    /// `caches` is empty or `virtual_nodes` is zero.
+    pub fn new(
+        caches: Vec<CacheId>,
+        virtual_nodes: usize,
+    ) -> cachecloud_types::Result<Self> {
+        if caches.is_empty() {
+            return Err(cachecloud_types::CacheCloudError::InvalidConfig {
+                param: "caches",
+                reason: "consistent hashing needs at least one cache".into(),
+            });
+        }
+        if virtual_nodes == 0 {
+            return Err(cachecloud_types::CacheCloudError::InvalidConfig {
+                param: "virtual_nodes",
+                reason: "need at least one virtual node per cache".into(),
+            });
+        }
+        let mut circle = Vec::with_capacity(caches.len() * virtual_nodes);
+        for &c in &caches {
+            for v in 0..virtual_nodes {
+                circle.push((Self::point(c, v), c));
+            }
+        }
+        circle.sort_unstable();
+        Ok(ConsistentHashing {
+            circle,
+            caches,
+            virtual_nodes,
+        })
+    }
+
+    fn point(cache: CacheId, replica: usize) -> u64 {
+        let key = format!("cache:{}#{}", cache.index(), replica);
+        md5::digest_u64(&md5::md5(key.as_bytes()))
+    }
+
+    /// Number of live caches.
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Never empty by construction (failures keep at least one cache).
+    pub fn is_empty(&self) -> bool {
+        self.caches.is_empty()
+    }
+
+    /// Virtual nodes per cache.
+    pub fn virtual_nodes(&self) -> usize {
+        self.virtual_nodes
+    }
+}
+
+impl BeaconAssigner for ConsistentHashing {
+    fn name(&self) -> &'static str {
+        "consistent"
+    }
+
+    fn beacon_for(&self, doc: &DocId) -> CacheId {
+        let h = doc.hash_u64();
+        // Successor on the circle (binary search), wrapping at the top.
+        let idx = self.circle.partition_point(|&(p, _)| p < h);
+        self.circle[idx % self.circle.len()].1
+    }
+
+    fn beacon_points(&self) -> Vec<CacheId> {
+        self.caches.clone()
+    }
+
+    fn discovery_hops(&self, _doc: &DocId) -> u32 {
+        // Distributed successor lookup à la Chord: O(log n) hops.
+        (self.caches.len() as f64).log2().ceil().max(1.0) as u32
+    }
+
+    fn handle_failure(&mut self, cache: CacheId) -> bool {
+        if !self.caches.contains(&cache) || self.caches.len() == 1 {
+            return false;
+        }
+        self.caches.retain(|&c| c != cache);
+        self.circle.retain(|&(_, c)| c != cache);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(n: usize) -> Vec<DocId> {
+        (0..n).map(|i| DocId::from_url(format!("/doc/{i}"))).collect()
+    }
+
+    #[test]
+    fn deterministic() {
+        let ch = ConsistentHashing::new((0..5).map(CacheId).collect(), 10).unwrap();
+        for d in docs(50) {
+            assert_eq!(ch.beacon_for(&d), ch.beacon_for(&d));
+        }
+    }
+
+    #[test]
+    fn wraps_around_top_of_circle() {
+        // With a single cache everything maps to it, including documents
+        // hashing above its highest virtual node.
+        let ch = ConsistentHashing::new(vec![CacheId(3)], 2).unwrap();
+        for d in docs(100) {
+            assert_eq!(ch.beacon_for(&d), CacheId(3));
+        }
+    }
+
+    #[test]
+    fn more_virtual_nodes_balance_better() {
+        let spread = |vnodes: usize| {
+            let ch = ConsistentHashing::new((0..10).map(CacheId).collect(), vnodes).unwrap();
+            let mut counts = [0u32; 10];
+            for d in docs(20_000) {
+                counts[ch.beacon_for(&d).index()] += 1;
+            }
+            let max = *counts.iter().max().unwrap() as f64;
+            let min = *counts.iter().min().unwrap() as f64;
+            max / min.max(1.0)
+        };
+        assert!(spread(100) < spread(1));
+    }
+
+    #[test]
+    fn failure_moves_only_victims_documents() {
+        let mut ch = ConsistentHashing::new((0..8).map(CacheId).collect(), 20).unwrap();
+        let ds = docs(2000);
+        let before: Vec<CacheId> = ds.iter().map(|d| ch.beacon_for(d)).collect();
+        assert!(ch.handle_failure(CacheId(4)));
+        let mut moved = 0;
+        for (d, &b) in ds.iter().zip(&before) {
+            let after = ch.beacon_for(d);
+            if b == CacheId(4) {
+                assert_ne!(after, CacheId(4));
+            } else {
+                assert_eq!(after, b, "non-victim doc moved: {d}");
+            }
+            if after != b {
+                moved += 1;
+            }
+        }
+        // Roughly 1/8 of documents moved, never more.
+        assert!(moved > 0 && moved < 2000 / 4, "moved {moved}");
+    }
+
+    #[test]
+    fn failure_of_unknown_or_last_cache_is_rejected() {
+        let mut ch = ConsistentHashing::new(vec![CacheId(0)], 4).unwrap();
+        assert!(!ch.handle_failure(CacheId(9)));
+        assert!(!ch.handle_failure(CacheId(0)), "last cache must survive");
+    }
+
+    #[test]
+    fn discovery_hops_grow_logarithmically() {
+        let ch = |n: usize| ConsistentHashing::new((0..n).map(CacheId).collect(), 4).unwrap();
+        let d = DocId::from_url("/x");
+        assert_eq!(ch(1).discovery_hops(&d), 1);
+        assert_eq!(ch(2).discovery_hops(&d), 1);
+        assert_eq!(ch(8).discovery_hops(&d), 3);
+        assert_eq!(ch(50).discovery_hops(&d), 6);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(ConsistentHashing::new(vec![], 4).is_err());
+        assert!(ConsistentHashing::new(vec![CacheId(0)], 0).is_err());
+    }
+}

@@ -1,0 +1,635 @@
+//! The paper's dynamic hashing scheme: beacon rings with load-adaptive
+//! intra-ring sub-ranges (paper §2.2–2.3).
+//!
+//! A cache cloud's caches are organized into **beacon rings** of two or more
+//! beacon points each. A document maps to a ring by a random hash, and
+//! within the ring to the beacon point whose current sub-range contains the
+//! document's intra-ring hash value (`IrH = md5(url) mod IrHGen`). Each
+//! cycle, every ring re-determines its sub-ranges from the measured loads so
+//! that each point's share tracks its capability.
+
+use cachecloud_types::{CacheCloudError, CacheId, Capability, DocId, RingId};
+
+use crate::assigner::{BeaconAssigner, Handoff};
+use crate::subrange::{determine_subranges, equal_partition, PointLoad, SubRange};
+
+/// How to group a cloud's caches into beacon rings.
+///
+/// The paper concludes rings should have at least two beacon points but stay
+/// small enough for cheap sub-range determination; Figure 5 sweeps 2/5/10
+/// points per ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingLayout {
+    /// Exactly this many rings, caches distributed round-robin.
+    Rings(usize),
+    /// Rings of exactly this many beacon points.
+    PointsPerRing(usize),
+}
+
+impl RingLayout {
+    /// Layout with a fixed number of rings.
+    pub fn rings(n: usize) -> Self {
+        RingLayout::Rings(n)
+    }
+
+    /// Layout with a fixed ring size.
+    pub fn points_per_ring(n: usize) -> Self {
+        RingLayout::PointsPerRing(n)
+    }
+
+    /// Resolves the number of rings for a cloud of `caches` caches.
+    fn resolve(self, caches: usize) -> Result<usize, CacheCloudError> {
+        let rings = match self {
+            RingLayout::Rings(r) => r,
+            RingLayout::PointsPerRing(m) => {
+                if m == 0 {
+                    return Err(CacheCloudError::InvalidConfig {
+                        param: "points_per_ring",
+                        reason: "ring size must be positive".into(),
+                    });
+                }
+                if !caches.is_multiple_of(m) {
+                    return Err(CacheCloudError::InvalidConfig {
+                        param: "points_per_ring",
+                        reason: format!("{caches} caches cannot form rings of {m}"),
+                    });
+                }
+                caches / m
+            }
+        };
+        if rings == 0 || rings > caches {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "rings",
+                reason: format!("{rings} rings is invalid for {caches} caches"),
+            });
+        }
+        if !caches.is_multiple_of(rings) {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "rings",
+                reason: format!("{caches} caches do not divide into {rings} equal rings"),
+            });
+        }
+        Ok(rings)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Point {
+    cache: CacheId,
+    capability: Capability,
+    range: SubRange,
+    /// `CAvgLoad`: cumulative load this cycle.
+    load: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Ring {
+    points: Vec<Point>,
+    /// `CIrHLd`: ring-wide per-IrH-value loads this cycle (present only when
+    /// fine-grained tracking is enabled; conceptually each beacon point
+    /// keeps the slice covering its own sub-range).
+    ledger: Option<Vec<f64>>,
+}
+
+/// The dynamic hashing beacon assigner.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_hashing::{BeaconAssigner, DynamicHashing, RingLayout};
+/// use cachecloud_types::{CacheId, Capability, DocId};
+///
+/// let caches: Vec<(CacheId, Capability)> =
+///     (0..4).map(|i| (CacheId(i), Capability::UNIT)).collect();
+/// let mut dh = DynamicHashing::new(&caches, RingLayout::points_per_ring(2), 100, true).unwrap();
+/// let doc = DocId::from_url("/d");
+/// let beacon = dh.beacon_for(&doc);
+/// dh.record_load(&doc, 10.0);
+/// dh.end_cycle();
+/// // The document may have moved to the ring partner, but stays in-ring.
+/// let ring = dh.ring_of(&doc);
+/// assert!(dh.ring_members(ring).contains(&dh.beacon_for(&doc)));
+/// assert!(dh.ring_members(ring).contains(&beacon));
+/// ```
+#[derive(Debug)]
+pub struct DynamicHashing {
+    rings: Vec<Ring>,
+    irh_gen: u64,
+    track_per_irh: bool,
+}
+
+impl DynamicHashing {
+    /// Creates the scheme.
+    ///
+    /// `caches` lists each beacon point with its capability; `layout` groups
+    /// them into rings (round-robin, so ring `j` holds caches `j`, `j + R`,
+    /// …); `irh_gen` is the intra-ring hash generator (1000 in all the
+    /// paper's experiments); `track_per_irh` enables the fine-grained
+    /// `CIrHLd` ledgers (paper Fig 2-B) instead of the `CAvgLoad`
+    /// approximation (Fig 2-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] if the layout does not
+    /// evenly partition the caches, or if `irh_gen` is smaller than the ring
+    /// size.
+    pub fn new(
+        caches: &[(CacheId, Capability)],
+        layout: RingLayout,
+        irh_gen: u64,
+        track_per_irh: bool,
+    ) -> cachecloud_types::Result<Self> {
+        if caches.is_empty() {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "caches",
+                reason: "dynamic hashing needs at least one cache".into(),
+            });
+        }
+        let num_rings = layout.resolve(caches.len())?;
+        let per_ring = caches.len() / num_rings;
+        if irh_gen < per_ring as u64 {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "irh_gen",
+                reason: format!(
+                    "generator {irh_gen} is smaller than the ring size {per_ring}"
+                ),
+            });
+        }
+        let mut rings = Vec::with_capacity(num_rings);
+        for r in 0..num_rings {
+            let members: Vec<&(CacheId, Capability)> =
+                caches.iter().skip(r).step_by(num_rings).collect();
+            let ranges = equal_partition(irh_gen, members.len());
+            let points = members
+                .iter()
+                .zip(ranges)
+                .map(|(&&(cache, capability), range)| Point {
+                    cache,
+                    capability,
+                    range,
+                    load: 0.0,
+                })
+                .collect();
+            rings.push(Ring {
+                points,
+                ledger: track_per_irh.then(|| vec![0.0; irh_gen as usize]),
+            });
+        }
+        Ok(DynamicHashing {
+            rings,
+            irh_gen,
+            track_per_irh,
+        })
+    }
+
+    /// The intra-ring hash generator.
+    pub fn irh_gen(&self) -> u64 {
+        self.irh_gen
+    }
+
+    /// Number of beacon rings.
+    pub fn num_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Whether fine-grained per-IrH load ledgers are kept.
+    pub fn tracks_per_irh(&self) -> bool {
+        self.track_per_irh
+    }
+
+    /// The ring a document maps to.
+    ///
+    /// The ring hash must be independent of the intra-ring hash (both derive
+    /// from the URL digest, so we remix before reducing; reducing the same
+    /// value twice would alias ring index and IrH value whenever the ring
+    /// count divides the generator).
+    pub fn ring_of(&self, doc: &DocId) -> RingId {
+        let mixed = doc
+            .hash_u64()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_right(23);
+        RingId((mixed % self.rings.len() as u64) as usize)
+    }
+
+    /// The document's intra-ring hash value (`IrH`).
+    pub fn irh_of(&self, doc: &DocId) -> u64 {
+        doc.hash_mod(self.irh_gen)
+    }
+
+    /// The caches forming the given ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` is out of range.
+    pub fn ring_members(&self, ring: RingId) -> Vec<CacheId> {
+        self.rings[ring.index()]
+            .points
+            .iter()
+            .map(|p| p.cache)
+            .collect()
+    }
+
+    /// The current sub-ranges of the given ring, in point order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` is out of range.
+    pub fn subranges(&self, ring: RingId) -> Vec<(CacheId, SubRange)> {
+        self.rings[ring.index()]
+            .points
+            .iter()
+            .map(|p| (p.cache, p.range))
+            .collect()
+    }
+
+    /// The cumulative load recorded against each beacon point this cycle.
+    pub fn cycle_loads(&self) -> Vec<(CacheId, f64)> {
+        self.rings
+            .iter()
+            .flat_map(|r| r.points.iter().map(|p| (p.cache, p.load)))
+            .collect()
+    }
+
+    fn point_index(ring: &Ring, irh: u64) -> usize {
+        ring.points
+            .iter()
+            .position(|p| p.range.contains(irh))
+            .expect("sub-ranges tile the IrH domain")
+    }
+}
+
+impl BeaconAssigner for DynamicHashing {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn beacon_for(&self, doc: &DocId) -> CacheId {
+        let ring = &self.rings[self.ring_of(doc).index()];
+        let irh = self.irh_of(doc);
+        ring.points[Self::point_index(ring, irh)].cache
+    }
+
+    fn beacon_points(&self) -> Vec<CacheId> {
+        let mut v: Vec<CacheId> = self
+            .rings
+            .iter()
+            .flat_map(|r| r.points.iter().map(|p| p.cache))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn record_load(&mut self, doc: &DocId, amount: f64) {
+        let ring_id = self.ring_of(doc).index();
+        let irh = self.irh_of(doc);
+        let ring = &mut self.rings[ring_id];
+        let idx = Self::point_index(ring, irh);
+        ring.points[idx].load += amount;
+        if let Some(ledger) = &mut ring.ledger {
+            ledger[irh as usize] += amount;
+        }
+    }
+
+    fn end_cycle(&mut self) -> Vec<Handoff> {
+        let mut handoffs = Vec::new();
+        for (rid, ring) in self.rings.iter_mut().enumerate() {
+            if ring.points.len() < 2 {
+                // Single-point rings degenerate to static hashing (paper
+                // §2.3); nothing to determine.
+                for p in &mut ring.points {
+                    p.load = 0.0;
+                }
+                if let Some(l) = &mut ring.ledger {
+                    l.iter_mut().for_each(|v| *v = 0.0);
+                }
+                continue;
+            }
+            let inputs: Vec<PointLoad> = ring
+                .points
+                .iter()
+                .map(|p| PointLoad {
+                    capability: p.capability,
+                    range: p.range,
+                    total_load: p.load,
+                    per_irh: ring.ledger.as_ref().map(|l| {
+                        l[p.range.min() as usize..=p.range.max() as usize].to_vec()
+                    }),
+                })
+                .collect();
+            let (new_ranges, shifts) = determine_subranges(&inputs, self.irh_gen);
+            for s in shifts {
+                let (from, to, lo, hi) = if s.moved > 0 {
+                    // Left point shed its trailing values.
+                    (
+                        ring.points[s.left].cache,
+                        ring.points[s.left + 1].cache,
+                        new_ranges[s.left].max() + 1,
+                        ring.points[s.left].range.max(),
+                    )
+                } else {
+                    // Left point acquired the right neighbour's head.
+                    (
+                        ring.points[s.left + 1].cache,
+                        ring.points[s.left].cache,
+                        ring.points[s.left].range.max() + 1,
+                        new_ranges[s.left].max(),
+                    )
+                };
+                handoffs.push(Handoff {
+                    ring: RingId(rid),
+                    from,
+                    to,
+                    irh_lo: lo,
+                    irh_hi: hi,
+                });
+            }
+            for (p, r) in ring.points.iter_mut().zip(new_ranges) {
+                p.range = r;
+                p.load = 0.0;
+            }
+            if let Some(l) = &mut ring.ledger {
+                l.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        handoffs
+    }
+
+    fn doc_in_handoff(&self, doc: &DocId, handoff: &Handoff) -> bool {
+        self.ring_of(doc) == handoff.ring && {
+            let irh = self.irh_of(doc);
+            (handoff.irh_lo..=handoff.irh_hi).contains(&irh)
+        }
+    }
+
+    fn handle_failure(&mut self, cache: CacheId) -> bool {
+        for ring in &mut self.rings {
+            if let Some(idx) = ring.points.iter().position(|p| p.cache == cache) {
+                if ring.points.len() == 1 {
+                    return false; // Last point of the ring cannot fail away.
+                }
+                let dead = ring.points.remove(idx);
+                // Lazy directory replication means the ring partner already
+                // holds the records: the neighbour absorbs the range.
+                if idx > 0 {
+                    let left = &mut ring.points[idx - 1];
+                    left.range = SubRange::new(left.range.min(), dead.range.max());
+                    left.load += dead.load;
+                } else {
+                    let right = &mut ring.points[0];
+                    right.range = SubRange::new(dead.range.min(), right.range.max());
+                    right.load += dead.load;
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<(CacheId, Capability)> {
+        (0..n).map(|i| (CacheId(i), Capability::UNIT)).collect()
+    }
+
+    fn docs(n: usize) -> Vec<DocId> {
+        (0..n).map(|i| DocId::from_url(format!("/d/{i}"))).collect()
+    }
+
+    #[test]
+    fn layout_resolution() {
+        assert_eq!(RingLayout::rings(5).resolve(10).unwrap(), 5);
+        assert_eq!(RingLayout::points_per_ring(2).resolve(10).unwrap(), 5);
+        assert_eq!(RingLayout::points_per_ring(10).resolve(10).unwrap(), 1);
+        assert!(RingLayout::points_per_ring(3).resolve(10).is_err());
+        assert!(RingLayout::rings(0).resolve(10).is_err());
+        assert!(RingLayout::rings(11).resolve(10).is_err());
+        assert!(RingLayout::rings(3).resolve(10).is_err());
+        assert!(RingLayout::points_per_ring(0).resolve(10).is_err());
+    }
+
+    #[test]
+    fn initial_ranges_are_equal_split() {
+        let dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        for r in 0..5 {
+            let subs = dh.subranges(RingId(r));
+            assert_eq!(subs.len(), 2);
+            assert_eq!(subs[0].1, SubRange::new(0, 499));
+            assert_eq!(subs[1].1, SubRange::new(500, 999));
+        }
+    }
+
+    #[test]
+    fn round_robin_ring_membership() {
+        let dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, false).unwrap();
+        assert_eq!(dh.ring_members(RingId(0)), vec![CacheId(0), CacheId(5)]);
+        assert_eq!(dh.ring_members(RingId(3)), vec![CacheId(3), CacheId(8)]);
+        let mut all = dh.beacon_points();
+        all.dedup();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn beacon_is_stable_without_load() {
+        let dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        for d in docs(200) {
+            assert_eq!(dh.beacon_for(&d), dh.beacon_for(&d));
+        }
+    }
+
+    #[test]
+    fn beacon_stays_within_the_documents_ring() {
+        let mut dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        let ds = docs(500);
+        let rings: Vec<RingId> = ds.iter().map(|d| dh.ring_of(d)).collect();
+        // Skew the load heavily and rebalance repeatedly.
+        for cycle in 0..3 {
+            for (i, d) in ds.iter().enumerate() {
+                let weight = if i % 7 == cycle { 50.0 } else { 1.0 };
+                dh.record_load(d, weight);
+            }
+            dh.end_cycle();
+            for (d, r) in ds.iter().zip(&rings) {
+                assert_eq!(dh.ring_of(d), *r, "ring assignment must never change");
+                assert!(dh.ring_members(*r).contains(&dh.beacon_for(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn rebalancing_reduces_load_imbalance() {
+        // Drive a Zipf-like skew into a 10-cache cloud and verify the
+        // post-rebalance distribution is flatter when replayed.
+        let mut dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        let ds = docs(3000);
+        let weights: Vec<f64> = (0..ds.len())
+            .map(|i| 1000.0 / (i as f64 + 1.0).powf(0.9))
+            .collect();
+        let measure = |dh: &DynamicHashing| {
+            let mut loads = std::collections::HashMap::new();
+            for (d, w) in ds.iter().zip(&weights) {
+                *loads.entry(dh.beacon_for(d)).or_insert(0.0) += *w;
+            }
+            let vals: Vec<f64> = (0..10)
+                .map(|i| loads.get(&CacheId(i)).copied().unwrap_or(0.0))
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().cloned().fold(0.0_f64, f64::max) / mean
+        };
+        let before = measure(&dh);
+        for _ in 0..4 {
+            for (d, w) in ds.iter().zip(&weights) {
+                dh.record_load(d, *w);
+            }
+            dh.end_cycle();
+        }
+        let after = measure(&dh);
+        assert!(
+            after < before,
+            "max/mean should drop: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn handoffs_describe_the_range_moves() {
+        let mut dh = DynamicHashing::new(&cloud(2), RingLayout::rings(1), 10, true).unwrap();
+        // Load only IrH values in the first point's range.
+        for d in docs(500) {
+            let irh = dh.irh_of(&d);
+            if irh <= 4 {
+                dh.record_load(&d, 10.0);
+            }
+        }
+        let handoffs = dh.end_cycle();
+        assert!(!handoffs.is_empty());
+        for h in &handoffs {
+            assert_eq!(h.from, CacheId(0));
+            assert_eq!(h.to, CacheId(1));
+            assert!(h.irh_lo <= h.irh_hi);
+            assert!(h.irh_hi <= 4);
+        }
+        // After the cycle the loads are reset.
+        assert!(dh.cycle_loads().iter().all(|(_, l)| *l == 0.0));
+    }
+
+    #[test]
+    fn subranges_always_tile_after_many_cycles() {
+        let mut dh =
+            DynamicHashing::new(&cloud(10), RingLayout::points_per_ring(5), 1000, false)
+                .unwrap();
+        let ds = docs(1000);
+        for cycle in 0..10 {
+            for (i, d) in ds.iter().enumerate() {
+                dh.record_load(d, ((i + cycle) % 13) as f64);
+            }
+            dh.end_cycle();
+            for r in 0..dh.num_rings() {
+                let subs = dh.subranges(RingId(r));
+                assert_eq!(subs[0].1.min(), 0);
+                assert_eq!(subs.last().unwrap().1.max(), 999);
+                for w in subs.windows(2) {
+                    assert_eq!(w[0].1.max() + 1, w[1].1.min());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_rings_degenerate_to_static() {
+        let mut dh = DynamicHashing::new(&cloud(4), RingLayout::rings(4), 100, true).unwrap();
+        let ds = docs(100);
+        let before: Vec<CacheId> = ds.iter().map(|d| dh.beacon_for(d)).collect();
+        for d in &ds {
+            dh.record_load(d, 100.0);
+        }
+        let handoffs = dh.end_cycle();
+        assert!(handoffs.is_empty());
+        let after: Vec<CacheId> = ds.iter().map(|d| dh.beacon_for(d)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn failure_is_absorbed_by_ring_partner() {
+        let mut dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        let ds = docs(400);
+        let victim = CacheId(2);
+        assert!(dh.handle_failure(victim));
+        for d in &ds {
+            assert_ne!(dh.beacon_for(d), victim);
+        }
+        // Documents in unaffected rings keep their beacon points.
+        let dh_fresh =
+            DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        for d in &ds {
+            if dh_fresh.ring_of(d) != RingId(2) {
+                assert_eq!(dh.beacon_for(d), dh_fresh.beacon_for(d));
+            }
+        }
+        // A second failure of the same cache is a no-op.
+        assert!(!dh.handle_failure(victim));
+    }
+
+    #[test]
+    fn last_point_of_ring_cannot_fail() {
+        let mut dh = DynamicHashing::new(&cloud(2), RingLayout::rings(2), 100, false).unwrap();
+        assert!(!dh.handle_failure(CacheId(0)) || !dh.handle_failure(CacheId(0)));
+        // One of the two failure calls must have been rejected: each cache
+        // is alone in its own ring.
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(DynamicHashing::new(&[], RingLayout::rings(1), 100, true).is_err());
+        assert!(
+            DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1, true).is_err(),
+            "generator smaller than ring size"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_capabilities_get_proportional_shares() {
+        // One ring of two points: p1 twice as capable as p0. Under a
+        // uniform stable load, after convergence p1 should carry roughly
+        // twice p0's load.
+        let caps = vec![
+            (CacheId(0), Capability::UNIT),
+            (CacheId(1), Capability::new(2.0).unwrap()),
+        ];
+        let mut dh = DynamicHashing::new(&caps, RingLayout::rings(1), 300, true).unwrap();
+        let ds = docs(3000);
+        let mut shares = (0.0, 0.0);
+        for _ in 0..6 {
+            for d in &ds {
+                dh.record_load(d, 1.0);
+            }
+            let loads = dh.cycle_loads();
+            shares = (
+                loads.iter().find(|(c, _)| *c == CacheId(0)).unwrap().1,
+                loads.iter().find(|(c, _)| *c == CacheId(1)).unwrap().1,
+            );
+            dh.end_cycle();
+        }
+        let ratio = shares.1 / shares.0;
+        assert!(
+            (1.6..=2.6).contains(&ratio),
+            "p1/p0 load ratio {ratio} should approach the 2.0 capability ratio"
+        );
+    }
+
+    #[test]
+    fn ring_and_irh_are_decorrelated() {
+        // With R = 5 dividing IrHGen = 1000, the naive double-mod of the
+        // same hash would leave each ring seeing only IrH ≡ ring (mod 5).
+        let dh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, false).unwrap();
+        let mut seen = vec![std::collections::HashSet::new(); 5];
+        for d in docs(5000) {
+            let r = dh.ring_of(&d).index();
+            seen[r].insert(dh.irh_of(&d) % 5);
+        }
+        for (r, s) in seen.iter().enumerate() {
+            assert_eq!(s.len(), 5, "ring {r} sees a biased IrH residue set");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Beacon-point assignment schemes for cache clouds.
+//!
+//! Every document in a cache cloud has a **beacon point**: the cache that
+//! maintains its lookup directory (which caches currently hold the document)
+//! and fans out its updates. This crate implements the three assignment
+//! schemes the paper discusses:
+//!
+//! * [`StaticHashing`] — `md5(url) mod N`; the baseline whose load balance
+//!   collapses under Zipf-skewed lookup/update loads (paper §2.1);
+//! * [`ConsistentHashing`] — Karger-style unit-circle hashing with virtual
+//!   nodes; balances URL counts, not loads, and pays multi-hop discovery
+//!   (paper §2.1, quantified in our ablation bench);
+//! * [`DynamicHashing`] — the paper's contribution (§2.2–2.3): beacon
+//!   points organized into *beacon rings*; within each ring an intra-ring
+//!   hash (`md5(url) mod IrHGen`) lands in contiguous per-beacon sub-ranges
+//!   that are re-determined every cycle from measured load, proportionally
+//!   to beacon capabilities.
+//!
+//! All three implement [`BeaconAssigner`], so the simulator, the live
+//! cluster and the benchmarks are generic over the scheme.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_hashing::{BeaconAssigner, DynamicHashing, RingLayout};
+//! use cachecloud_types::{CacheId, Capability, DocId};
+//!
+//! // A cloud of 10 caches: 5 beacon rings with 2 beacon points each
+//! // (the paper's Figure 3/4 configuration), IrHGen = 1000.
+//! let caches: Vec<(CacheId, Capability)> =
+//!     (0..10).map(|i| (CacheId(i), Capability::UNIT)).collect();
+//! let mut dynamic = DynamicHashing::new(&caches, RingLayout::rings(5), 1000, true).unwrap();
+//!
+//! let doc = DocId::from_url("/results/swimming.html");
+//! let beacon = dynamic.beacon_for(&doc);
+//! // Simulate skewed load, then rebalance at the end of the cycle.
+//! for _ in 0..100 {
+//!     dynamic.record_load(&doc, 1.0);
+//! }
+//! let handoffs = dynamic.end_cycle();
+//! // The overloaded beacon shed part of its sub-range.
+//! assert!(handoffs.iter().all(|h| h.from != h.to));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assigner;
+pub mod consistent;
+pub mod dynamic;
+pub mod static_hash;
+pub mod subrange;
+
+pub use assigner::{BeaconAssigner, Handoff};
+pub use consistent::ConsistentHashing;
+pub use dynamic::{DynamicHashing, RingLayout};
+pub use static_hash::StaticHashing;
+pub use subrange::SubRange;

@@ -1,0 +1,129 @@
+//! The static hashing baseline: `md5(url) mod N`.
+//!
+//! "These hash functions uniquely hash the document's URL to one of the edge
+//! caches (beacon points) in the cache cloud" (paper §2.1). Static hashing
+//! is oblivious to load, so under Zipf-skewed lookup/update traffic a few
+//! beacon points end up far above the mean (Figures 3, 4, 6).
+
+use cachecloud_types::{CacheId, DocId};
+
+use crate::assigner::BeaconAssigner;
+
+/// Load-oblivious random hashing of documents to beacon points.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_hashing::{BeaconAssigner, StaticHashing};
+/// use cachecloud_types::{CacheId, DocId};
+///
+/// let scheme = StaticHashing::new((0..10).map(CacheId).collect()).unwrap();
+/// let doc = DocId::from_url("/news/today.html");
+/// let b = scheme.beacon_for(&doc);
+/// // Deterministic and within the cloud.
+/// assert_eq!(b, scheme.beacon_for(&doc));
+/// assert!(b.index() < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticHashing {
+    caches: Vec<CacheId>,
+}
+
+impl StaticHashing {
+    /// Creates the scheme over the given caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cachecloud_types::CacheCloudError::InvalidConfig`] if
+    /// `caches` is empty.
+    pub fn new(caches: Vec<CacheId>) -> cachecloud_types::Result<Self> {
+        if caches.is_empty() {
+            return Err(cachecloud_types::CacheCloudError::InvalidConfig {
+                param: "caches",
+                reason: "static hashing needs at least one cache".into(),
+            });
+        }
+        Ok(StaticHashing { caches })
+    }
+
+    /// Number of beacon points.
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl BeaconAssigner for StaticHashing {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn beacon_for(&self, doc: &DocId) -> CacheId {
+        let idx = doc.hash_mod(self.caches.len() as u64) as usize;
+        self.caches[idx]
+    }
+
+    fn beacon_points(&self) -> Vec<CacheId> {
+        self.caches.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_assignment() {
+        let s = StaticHashing::new((0..7).map(CacheId).collect()).unwrap();
+        for i in 0..100 {
+            let d = DocId::from_url(format!("/d/{i}"));
+            assert_eq!(s.beacon_for(&d), s.beacon_for(&d));
+            assert!(s.beacon_for(&d).index() < 7);
+        }
+    }
+
+    #[test]
+    fn covers_all_beacons_roughly_uniformly() {
+        let n = 10usize;
+        let s = StaticHashing::new((0..n).map(CacheId).collect()).unwrap();
+        let mut counts = vec![0u32; n];
+        let total = 10_000;
+        for i in 0..total {
+            counts[s.beacon_for(&DocId::from_url(format!("/u/{i}"))).index()] += 1;
+        }
+        let expected = total as f64 / n as f64;
+        for c in counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.15,
+                "count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_contiguous_cache_ids_are_respected() {
+        let s = StaticHashing::new(vec![CacheId(10), CacheId(20)]).unwrap();
+        let d = DocId::from_url("/x");
+        let b = s.beacon_for(&d);
+        assert!(b == CacheId(10) || b == CacheId(20));
+        assert_eq!(s.beacon_points(), vec![CacheId(10), CacheId(20)]);
+    }
+
+    #[test]
+    fn rejects_empty_cloud() {
+        assert!(StaticHashing::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn end_cycle_is_noop() {
+        let mut s = StaticHashing::new(vec![CacheId(0)]).unwrap();
+        s.record_load(&DocId::from_url("/x"), 5.0);
+        assert!(s.end_cycle().is_empty());
+        assert_eq!(s.discovery_hops(&DocId::from_url("/x")), 1);
+        assert!(!s.handle_failure(CacheId(0)));
+    }
+}

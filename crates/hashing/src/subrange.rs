@@ -1,0 +1,520 @@
+//! Contiguous intra-ring hash sub-ranges and the per-cycle sub-range
+//! determination algorithm (paper §2.3).
+
+use cachecloud_types::Capability;
+
+/// An inclusive span `[min, max]` of intra-ring hash values.
+///
+/// Within a beacon ring, every beacon point owns one sub-range; the
+/// sub-ranges are contiguous, non-overlapping and jointly cover
+/// `[0, IrHGen)`.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_hashing::SubRange;
+///
+/// let r = SubRange::new(0, 499);
+/// assert!(r.contains(499));
+/// assert!(!r.contains(500));
+/// assert_eq!(r.len(), 500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubRange {
+    min: u64,
+    max: u64,
+}
+
+impl SubRange {
+    /// Creates the sub-range `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min <= max, "sub-range must be non-empty: [{min}, {max}]");
+        SubRange { min, max }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Upper bound (inclusive).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of IrH values covered.
+    pub fn len(&self) -> u64 {
+        self.max - self.min + 1
+    }
+
+    /// Sub-ranges are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `irh` falls inside this sub-range.
+    pub fn contains(&self, irh: u64) -> bool {
+        (self.min..=self.max).contains(&irh)
+    }
+}
+
+impl std::fmt::Display for SubRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.min, self.max)
+    }
+}
+
+/// Splits `[0, generator)` into `n` near-equal contiguous sub-ranges — the
+/// initial assignment before any load has been observed (paper Figure 1
+/// starts ring 0 at `(0, 499)/(500, 999)` with `IntraGen = 1000`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `generator < n` (each beacon point must own at
+/// least one IrH value).
+pub fn equal_partition(generator: u64, n: usize) -> Vec<SubRange> {
+    assert!(n > 0, "need at least one beacon point");
+    assert!(
+        generator >= n as u64,
+        "intra-ring hash generator ({generator}) must be at least the ring size ({n})"
+    );
+    let base = generator / n as u64;
+    let extra = generator % n as u64;
+    let mut out = Vec::with_capacity(n);
+    let mut lo = 0u64;
+    for i in 0..n as u64 {
+        let width = base + u64::from(i < extra);
+        out.push(SubRange::new(lo, lo + width - 1));
+        lo += width;
+    }
+    out
+}
+
+/// Inputs to the sub-range determination for a single beacon point.
+#[derive(Debug, Clone)]
+pub struct PointLoad {
+    /// The beacon point's capability (`Cp` in the paper).
+    pub capability: Capability,
+    /// Its current sub-range.
+    pub range: SubRange,
+    /// `CAvgLoad`: cumulative lookup+update load over the ending cycle.
+    pub total_load: f64,
+    /// `CIrHLd`: optional per-IrH-value loads over the point's sub-range
+    /// (index 0 is `range.min()`). When absent the algorithm approximates
+    /// each value's load as `total_load / range.len()` (paper §2.3).
+    pub per_irh: Option<Vec<f64>>,
+}
+
+/// One boundary move produced by the determination: `count` IrH values moved
+/// between neighbours `i` and `i+1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryShift {
+    /// Index of the left-hand beacon point of the boundary.
+    pub left: usize,
+    /// Number of IrH values moved. Positive: left sheds its trailing values
+    /// to the right neighbour. Negative: left acquires the right
+    /// neighbour's leading values.
+    pub moved: i64,
+}
+
+/// Runs the paper's sub-range determination over one beacon ring.
+///
+/// Walks the beacon points left to right. A point whose current load exceeds
+/// its capability-proportional fair share sheds trailing IrH values to its
+/// right neighbour until the shed load would exceed the surplus; a point
+/// under its fair share acquires leading values from the right neighbour
+/// symmetrically. Load pushed onto the neighbour is accounted before the
+/// neighbour itself is balanced (paper §2.3).
+///
+/// Returns the new sub-ranges plus the boundary shifts (for handoff
+/// accounting). The output always partitions the same `[0, generator)`
+/// domain, and every point keeps at least one IrH value.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, if the sub-ranges do not tile `[0,
+/// generator)` in order, or if a `per_irh` ledger length disagrees with its
+/// range.
+pub fn determine_subranges(
+    points: &[PointLoad],
+    generator: u64,
+) -> (Vec<SubRange>, Vec<BoundaryShift>) {
+    assert!(!points.is_empty(), "ring must have at least one beacon point");
+    // Validate tiling.
+    let mut expect = 0u64;
+    for p in points {
+        assert_eq!(
+            p.range.min(),
+            expect,
+            "sub-ranges must tile the intra-ring hash domain in order"
+        );
+        expect = p.range.max() + 1;
+        if let Some(l) = &p.per_irh {
+            assert_eq!(
+                l.len() as u64,
+                p.range.len(),
+                "per-IrH ledger length must match the sub-range width"
+            );
+        }
+    }
+    assert_eq!(expect, generator, "sub-ranges must cover [0, generator)");
+
+    // Assemble the ring-wide per-value load vector, approximating uniform
+    // load within a point's range when no ledger is available.
+    let mut value_load = vec![0.0f64; generator as usize];
+    for p in points {
+        match &p.per_irh {
+            Some(ledger) => {
+                for (off, l) in ledger.iter().enumerate() {
+                    value_load[(p.range.min() + off as u64) as usize] = *l;
+                }
+            }
+            None => {
+                let avg = p.total_load / p.range.len() as f64;
+                for v in value_load
+                    .iter_mut()
+                    .skip(p.range.min() as usize)
+                    .take(p.range.len() as usize)
+                {
+                    *v = avg;
+                }
+            }
+        }
+    }
+
+    let ring_load: f64 = points.iter().map(|p| p.total_load).sum();
+    let ring_cap: f64 = points.iter().map(|p| p.capability.value()).sum();
+
+    let mut bounds: Vec<u64> = points.iter().map(|p| p.range.max()).collect();
+    // Carried load of the point currently being balanced, including load
+    // pushed from its left neighbour.
+    let mut shifts = Vec::new();
+    let mut carried: f64 = points[0].total_load;
+
+    for i in 0..points.len() - 1 {
+        let fair = points[i].capability.value() / ring_cap * ring_load;
+        let lo = if i == 0 { 0 } else { bounds[i - 1] + 1 };
+        let mut hi = bounds[i];
+        let mut moved: i64 = 0;
+        // Net load crossing the boundary to the right neighbour (negative
+        // when the neighbour's leading values were acquired).
+        let mut crossed = 0.0;
+
+        if carried > fair {
+            // Shed trailing values to the right neighbour while the shed
+            // total stays within the surplus. Keep at least one value.
+            let surplus = carried - fair;
+            while hi > lo {
+                let l = value_load[hi as usize];
+                if crossed + l > surplus {
+                    break;
+                }
+                crossed += l;
+                hi -= 1;
+                moved += 1;
+            }
+        } else if carried < fair {
+            // Acquire leading values from the right neighbour while the
+            // acquired total stays within the deficit. Leave the neighbour
+            // at least one value.
+            let deficit = fair - carried;
+            let next_hi = bounds[i + 1];
+            while hi + 1 < next_hi {
+                let l = value_load[(hi + 1) as usize];
+                if -crossed + l > deficit {
+                    break;
+                }
+                crossed -= l;
+                hi += 1;
+                moved -= 1;
+            }
+        }
+
+        bounds[i] = hi;
+        if moved != 0 {
+            shifts.push(BoundaryShift { left: i, moved });
+        }
+
+        // The next point's starting load: its own measured load plus the
+        // load pushed across the boundary (paper: "the scheme takes into
+        // account this additional load on the beacon point i+1").
+        carried = points[i + 1].total_load + crossed;
+    }
+
+    let mut out = Vec::with_capacity(points.len());
+    let mut lo = 0u64;
+    for &hi in &bounds {
+        out.push(SubRange::new(lo, hi));
+        lo = hi + 1;
+    }
+    debug_assert_eq!(lo, generator);
+    (out, shifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Capability {
+        Capability::UNIT
+    }
+
+    /// The paper's Figure 2 per-IrH loads: p0 owns (0,4) with 500 total,
+    /// p1 owns (5,9) with 300 total.
+    fn fig2_loads() -> Vec<f64> {
+        vec![175.0, 135.0, 100.0, 30.0, 60.0, 100.0, 50.0, 25.0, 75.0, 50.0]
+    }
+
+    #[test]
+    fn fig2_complete_information_moves_two_values() {
+        let loads = fig2_loads();
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 500.0,
+                per_irh: Some(loads[0..5].to_vec()),
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(5, 9),
+                total_load: 300.0,
+                per_irh: Some(loads[5..10].to_vec()),
+            },
+        ];
+        let (ranges, shifts) = determine_subranges(&points, 10);
+        // Paper Fig 2-B: p0 becomes (0,2), p1 becomes (3,9).
+        assert_eq!(ranges, vec![SubRange::new(0, 2), SubRange::new(3, 9)]);
+        assert_eq!(shifts, vec![BoundaryShift { left: 0, moved: 2 }]);
+        // Next-cycle loads under the same pattern: 410 / 390 (paper).
+        let p0: f64 = loads[0..3].iter().sum();
+        let p1: f64 = loads[3..10].iter().sum();
+        assert_eq!(p0, 410.0);
+        assert_eq!(p1, 390.0);
+    }
+
+    #[test]
+    fn fig2_approximate_information_moves_one_value() {
+        let loads = fig2_loads();
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 500.0,
+                per_irh: None, // CAvgLoad approximation: 100 per value
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(5, 9),
+                total_load: 300.0,
+                per_irh: None,
+            },
+        ];
+        let (ranges, shifts) = determine_subranges(&points, 10);
+        // Paper Fig 2-C: p0 becomes (0,3), p1 becomes (4,9).
+        assert_eq!(ranges, vec![SubRange::new(0, 3), SubRange::new(4, 9)]);
+        assert_eq!(shifts, vec![BoundaryShift { left: 0, moved: 1 }]);
+        // Actual next-cycle loads under the true pattern: 440 / 360 (paper).
+        let p0: f64 = loads[0..4].iter().sum();
+        let p1: f64 = loads[4..10].iter().sum();
+        assert_eq!(p0, 440.0);
+        assert_eq!(p1, 360.0);
+    }
+
+    #[test]
+    fn underloaded_point_expands() {
+        // p0 nearly idle, p1 hot: p0 should acquire leading values of p1.
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 10.0,
+                per_irh: Some(vec![2.0; 5]),
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(5, 9),
+                total_load: 500.0,
+                per_irh: Some(vec![100.0; 5]),
+            },
+        ];
+        let (ranges, shifts) = determine_subranges(&points, 10);
+        assert!(ranges[0].max() > 4, "p0 expanded: {:?}", ranges);
+        assert_eq!(shifts.len(), 1);
+        assert!(shifts[0].moved < 0);
+        // Still a partition.
+        assert_eq!(ranges[0].min(), 0);
+        assert_eq!(ranges[1].max(), 9);
+        assert_eq!(ranges[0].max() + 1, ranges[1].min());
+    }
+
+    #[test]
+    fn capability_weighted_fair_share() {
+        // Equal loads but p1 twice as capable: p1 should absorb range.
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 300.0,
+                per_irh: Some(vec![60.0; 5]),
+            },
+            PointLoad {
+                capability: Capability::new(2.0).unwrap(),
+                range: SubRange::new(5, 9),
+                total_load: 300.0,
+                per_irh: Some(vec![60.0; 5]),
+            },
+        ];
+        // fair(p0) = 1/3 * 600 = 200 => surplus 100 => sheds one 60-load
+        // value (second would exceed 100).
+        let (ranges, _) = determine_subranges(&points, 10);
+        assert_eq!(ranges[0], SubRange::new(0, 3));
+        assert_eq!(ranges[1], SubRange::new(4, 9));
+    }
+
+    #[test]
+    fn balanced_ring_is_untouched() {
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 100.0,
+                per_irh: Some(vec![20.0; 5]),
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(5, 9),
+                total_load: 100.0,
+                per_irh: Some(vec![20.0; 5]),
+            },
+        ];
+        let (ranges, shifts) = determine_subranges(&points, 10);
+        assert_eq!(ranges, vec![SubRange::new(0, 4), SubRange::new(5, 9)]);
+        assert!(shifts.is_empty());
+    }
+
+    #[test]
+    fn zero_load_ring_is_stable() {
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 0.0,
+                per_irh: None,
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(5, 9),
+                total_load: 0.0,
+                per_irh: None,
+            },
+        ];
+        let (ranges, shifts) = determine_subranges(&points, 10);
+        assert_eq!(ranges, vec![SubRange::new(0, 4), SubRange::new(5, 9)]);
+        assert!(shifts.is_empty());
+    }
+
+    #[test]
+    fn every_point_keeps_at_least_one_value() {
+        // All load on the very first IrH value: p0 cannot shed below one
+        // value even though its surplus is huge.
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 4),
+                total_load: 1000.0,
+                per_irh: Some(vec![1000.0, 0.0, 0.0, 0.0, 0.0]),
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(5, 9),
+                total_load: 0.0,
+                per_irh: Some(vec![0.0; 5]),
+            },
+        ];
+        let (ranges, _) = determine_subranges(&points, 10);
+        assert!(!ranges[0].is_empty());
+        assert_eq!(ranges[0].min(), 0);
+        // p0 sheds all zero-load values but keeps value 0.
+        assert_eq!(ranges[0], SubRange::new(0, 0));
+    }
+
+    #[test]
+    fn three_point_cascade() {
+        // Load concentrated on p0; surplus should cascade rightward across
+        // both boundaries.
+        let points = vec![
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(0, 3),
+                total_load: 900.0,
+                per_irh: Some(vec![600.0, 100.0, 100.0, 100.0]),
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(4, 7),
+                total_load: 60.0,
+                per_irh: Some(vec![15.0; 4]),
+            },
+            PointLoad {
+                capability: unit(),
+                range: SubRange::new(8, 11),
+                total_load: 40.0,
+                per_irh: Some(vec![10.0; 4]),
+            },
+        ];
+        let (ranges, shifts) = determine_subranges(&points, 12);
+        // fair = 1000/3 ≈ 333, surplus ≈ 567: p0 sheds values 3, 2 and 1
+        // (300 ≤ 567) and keeps only its dominant value 0.
+        assert_eq!(ranges[0], SubRange::new(0, 0));
+        // p1 now carries 60 + 200 = 260 < 333: acquires nothing? deficit 73,
+        // p2's first value load is 10 ≤ 73 so p1 expands into p2.
+        assert_eq!(ranges[0].max() + 1, ranges[1].min());
+        assert_eq!(ranges[1].max() + 1, ranges[2].min());
+        assert_eq!(ranges[2].max(), 11);
+        assert!(!shifts.is_empty());
+    }
+
+    #[test]
+    fn equal_partition_tiles_domain() {
+        let parts = equal_partition(1000, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].min(), 0);
+        assert_eq!(parts[2].max(), 999);
+        assert_eq!(parts[0].max() + 1, parts[1].min());
+        assert_eq!(parts[1].max() + 1, parts[2].min());
+        let total: u64 = parts.iter().map(SubRange::len).sum();
+        assert_eq!(total, 1000);
+        // Figure 1's even split.
+        let halves = equal_partition(1000, 2);
+        assert_eq!(halves, vec![SubRange::new(0, 499), SubRange::new(500, 999)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least the ring size")]
+    fn partition_smaller_than_ring_panics() {
+        let _ = equal_partition(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-range must be non-empty")]
+    fn inverted_subrange_panics() {
+        let _ = SubRange::new(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn non_tiling_input_panics() {
+        let points = vec![PointLoad {
+            capability: unit(),
+            range: SubRange::new(0, 4),
+            total_load: 0.0,
+            per_irh: None,
+        }];
+        let _ = determine_subranges(&points, 10);
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistics and report rendering for the cache-clouds reproduction.
+//!
+//! The paper's evaluation reports:
+//!
+//! * per-beacon-point load distributions, their **mean**, **max/mean ratio**
+//!   and **coefficient of variation** (Figs 3–6) — see [`stats`] and
+//!   [`LoadDistribution`];
+//! * percentages of documents stored per cache (Fig 7) and network load in
+//!   MB per unit time (Figs 8–9) — see [`timeseries::BinnedSeries`] for the
+//!   per-unit-time binning;
+//! * the harness renders these as ASCII tables and JSON via [`report`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_metrics::stats::Summary;
+//!
+//! let loads = [500.0, 300.0];
+//! let s = Summary::of(&loads);
+//! assert_eq!(s.mean, 400.0);
+//! assert_eq!(s.max_over_mean(), 1.25);
+//! assert!(s.coefficient_of_variation() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod report;
+pub mod stats;
+pub mod timeseries;
+
+pub use histogram::Histogram;
+pub use stats::{LoadDistribution, Summary};
+pub use timeseries::BinnedSeries;

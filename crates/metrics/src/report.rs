@@ -1,0 +1,185 @@
+//! ASCII-table and JSON rendering for the figure harness.
+//!
+//! Every figure in `cachecloud-bench --bin figures` is rendered through
+//! [`Table`], so paper figures and our reproduction print in a uniform,
+//! diff-friendly format, and the raw numbers are also emitted as JSON for
+//! downstream plotting.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// A simple left-aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_metrics::report::Table;
+///
+/// let mut t = Table::new(["scheme", "cov"]);
+/// t.row(["static", "0.52"]);
+/// t.row(["dynamic", "0.19"]);
+/// let s = t.render();
+/// assert!(s.contains("static"));
+/// assert!(s.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<const N: usize>(header: [&str; N]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a table from a dynamic header list.
+    pub fn with_columns(header: impl IntoIterator<Item = String>) -> Self {
+        Table {
+            header: header.into_iter().collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<const N: usize>(&mut self, cells: [&str; N]) -> &mut Self {
+        self.push_row(cells.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row of owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned ASCII string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", c, width = widths[i]);
+            }
+            // Trim trailing padding for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        emit(&mut out, &rule);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, for table cells.
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Serializes any figure payload to pretty JSON.
+///
+/// # Errors
+///
+/// Returns an error if the payload cannot be serialized (practically
+/// impossible for the plain-data types used by the harness).
+pub fn to_json<T: Serialize>(value: &T) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["longer-name", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // Columns align: "value" column starts at the same offset in all rows.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match header width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn dynamic_columns() {
+        let mut t = Table::with_columns((0..3).map(|i| format!("c{i}")));
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("c2"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(2.0, 0), "2");
+    }
+
+    #[test]
+    fn json_serialization() {
+        #[derive(Serialize)]
+        struct P {
+            x: u32,
+        }
+        let s = to_json(&P { x: 3 }).unwrap();
+        assert!(s.contains("\"x\": 3"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Summary statistics: mean, standard deviation, coefficient of variation,
+//! max/mean ratio, and per-beacon load distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a sample of non-negative loads.
+///
+/// The paper quantifies load balancing with two figures of merit:
+///
+/// * the **coefficient of variation** (stddev / mean) — lower is better
+///   balanced (Figs 5, 6);
+/// * the **ratio of the heaviest load to the mean load** (Figs 3, 4; e.g.
+///   static hashing 1.9 vs dynamic hashing 1.2 on Zipf-0.9).
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_metrics::Summary;
+///
+/// let s = Summary::of(&[2.0, 4.0, 6.0, 8.0]);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.max, 8.0);
+/// assert_eq!(s.max_over_mean(), 1.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample (0 for an empty sample).
+    pub min: f64,
+    /// Largest sample (0 for an empty sample).
+    pub max: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                sum: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let sum: f64 = samples.iter().sum();
+        let mean = sum / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count: samples.len(),
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+            sum,
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+
+    /// Ratio of the heaviest sample to the mean; 0 when the mean is 0.
+    pub fn max_over_mean(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.max / self.mean
+        }
+    }
+}
+
+/// The per-beacon-point load distribution of one hashing scheme, as plotted
+/// in the paper's Figures 3 and 4 (beacon points in decreasing load order).
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_metrics::LoadDistribution;
+///
+/// let d = LoadDistribution::new("static", vec![300.0, 500.0, 400.0]);
+/// assert_eq!(d.sorted_desc(), vec![500.0, 400.0, 300.0]);
+/// assert_eq!(d.summary().mean, 400.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadDistribution {
+    /// Label of the scheme that produced this distribution.
+    pub scheme: String,
+    /// Load on each beacon point (unsorted, indexed by beacon point).
+    pub loads: Vec<f64>,
+}
+
+impl LoadDistribution {
+    /// Creates a distribution from per-beacon loads.
+    pub fn new(scheme: impl Into<String>, loads: Vec<f64>) -> Self {
+        LoadDistribution {
+            scheme: scheme.into(),
+            loads,
+        }
+    }
+
+    /// Loads sorted in decreasing order — the paper's X-axis convention.
+    pub fn sorted_desc(&self) -> Vec<f64> {
+        let mut v = self.loads.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).expect("loads are finite"));
+        v
+    }
+
+    /// Summary statistics of the distribution.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.loads)
+    }
+
+    /// Percentage improvement of this distribution's max/mean ratio over
+    /// `baseline`'s (positive when this scheme balances better).
+    pub fn ratio_improvement_over(&self, baseline: &LoadDistribution) -> f64 {
+        let base = baseline.summary().max_over_mean();
+        if base == 0.0 {
+            return 0.0;
+        }
+        // Improvement in the *excess* over perfect balance (ratio 1.0), which
+        // is what "a 37% improvement from 1.9 to 1.2" refers to in spirit;
+        // the paper reports plain ratio reduction, so we expose both.
+        (base - self.summary().max_over_mean()) / base * 100.0
+    }
+
+    /// Percentage improvement of this distribution's coefficient of
+    /// variation over `baseline`'s.
+    pub fn cov_improvement_over(&self, baseline: &LoadDistribution) -> f64 {
+        let base = baseline.summary().coefficient_of_variation();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (base - self.summary().coefficient_of_variation()) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        assert_eq!(s.max_over_mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.max_over_mean(), 1.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        // Population stddev of [2,4,4,4,5,5,7,9] is exactly 2.
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert!((s.coefficient_of_variation() - 0.4).abs() < 1e-12);
+        assert!((s.max_over_mean() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sample_has_zero_cov() {
+        let s = Summary::of(&[3.0; 10]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        assert_eq!(s.max_over_mean(), 1.0);
+    }
+
+    #[test]
+    fn paper_example_static_vs_dynamic() {
+        // Paper Fig 2: cycle-0 loads 500/300; after rebalancing with
+        // complete information, 410/390.
+        let before = Summary::of(&[500.0, 300.0]);
+        let after = Summary::of(&[410.0, 390.0]);
+        assert!((before.max_over_mean() - 1.25).abs() < 1e-12);
+        assert!((after.max_over_mean() - 1.025).abs() < 1e-12);
+        assert!(after.coefficient_of_variation() < before.coefficient_of_variation());
+    }
+
+    #[test]
+    fn load_distribution_sorting_and_improvements() {
+        let stat = LoadDistribution::new("static", vec![1900.0, 500.0, 600.0, 1000.0]);
+        let dyn_ = LoadDistribution::new("dynamic", vec![1100.0, 950.0, 1000.0, 950.0]);
+        assert_eq!(stat.sorted_desc()[0], 1900.0);
+        assert!(dyn_.ratio_improvement_over(&stat) > 0.0);
+        assert!(dyn_.cov_improvement_over(&stat) > 0.0);
+        // Improving over itself is 0%.
+        assert_eq!(stat.ratio_improvement_over(&stat), 0.0);
+    }
+
+    #[test]
+    fn improvement_handles_zero_baseline() {
+        let zero = LoadDistribution::new("none", vec![]);
+        let d = LoadDistribution::new("d", vec![1.0]);
+        assert_eq!(d.ratio_improvement_over(&zero), 0.0);
+        assert_eq!(d.cov_improvement_over(&zero), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Landmark-based cache clustering — the stand-in for the paper's
+//! "Internet landmarks-based technique to create cache clouds" (its
+//! reference \[12\], unpublished).
+//!
+//! Each cache measures its distance to a set of landmark nodes; caches whose
+//! nearest landmark agrees are network-proximal and form a cloud. Clouds
+//! larger than the configured maximum are split by proximity order, so every
+//! cloud stays small enough for cheap intra-cloud cooperation.
+
+use cachecloud_sim::SimRng;
+use cachecloud_types::CacheId;
+
+use crate::topology::{Coordinates, EdgeNetwork};
+
+/// Groups the network's caches into clouds of at most `max_cloud_size`,
+/// using `landmarks` as proximity probes.
+///
+/// Returns clouds as lists of cache ids; every cache appears in exactly one
+/// cloud, and co-clustered caches share their nearest landmark.
+///
+/// # Panics
+///
+/// Panics if `landmarks` is empty or `max_cloud_size` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_net::{cluster_by_landmarks, Coordinates, EdgeNetwork};
+/// use cachecloud_sim::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(3);
+/// let net = EdgeNetwork::generate(30, 3, &mut rng);
+/// let landmarks = vec![
+///     Coordinates::new(0.2, 0.2),
+///     Coordinates::new(0.8, 0.8),
+/// ];
+/// let clouds = cluster_by_landmarks(&net, &landmarks, 10);
+/// let total: usize = clouds.iter().map(Vec::len).sum();
+/// assert_eq!(total, 30);
+/// ```
+pub fn cluster_by_landmarks(
+    network: &EdgeNetwork,
+    landmarks: &[Coordinates],
+    max_cloud_size: usize,
+) -> Vec<Vec<CacheId>> {
+    assert!(!landmarks.is_empty(), "need at least one landmark");
+    assert!(max_cloud_size > 0, "cloud size must be positive");
+
+    // Bin caches by their nearest landmark.
+    let mut bins: Vec<Vec<(f64, CacheId)>> = vec![Vec::new(); landmarks.len()];
+    for (i, pos) in network.cache_positions().iter().enumerate() {
+        let (best, dist) = landmarks
+            .iter()
+            .enumerate()
+            .map(|(j, l)| (j, pos.distance(l)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("landmarks is non-empty");
+        bins[best].push((dist, CacheId(i)));
+    }
+
+    // Split oversized bins by proximity order so each chunk is a tight
+    // neighbourhood around the landmark.
+    let mut clouds = Vec::new();
+    for mut bin in bins {
+        if bin.is_empty() {
+            continue;
+        }
+        bin.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for chunk in bin.chunks(max_cloud_size) {
+            clouds.push(chunk.iter().map(|&(_, c)| c).collect());
+        }
+    }
+    clouds
+}
+
+/// Draws `n` landmark positions uniformly in the unit square.
+pub fn random_landmarks(n: usize, rng: &mut SimRng) -> Vec<Coordinates> {
+    (0..n)
+        .map(|_| Coordinates::new(rng.next_f64(), rng.next_f64()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_network() -> EdgeNetwork {
+        // Two tight clusters: around (0.1, 0.1) and (0.9, 0.9).
+        let mut pos = Vec::new();
+        for i in 0..6 {
+            pos.push(Coordinates::new(0.1 + 0.01 * i as f64, 0.1));
+        }
+        for i in 0..6 {
+            pos.push(Coordinates::new(0.9 - 0.01 * i as f64, 0.9));
+        }
+        EdgeNetwork::from_positions(pos, Coordinates::new(3.0, 3.0))
+    }
+
+    #[test]
+    fn clusters_follow_proximity() {
+        let net = grid_network();
+        let landmarks = vec![Coordinates::new(0.0, 0.0), Coordinates::new(1.0, 1.0)];
+        let clouds = cluster_by_landmarks(&net, &landmarks, 10);
+        assert_eq!(clouds.len(), 2);
+        for cloud in &clouds {
+            assert_eq!(cloud.len(), 6);
+            // Every pair within a cloud is close.
+            for &a in cloud {
+                for &b in cloud {
+                    assert!(net.cache_distance(a, b) < 0.2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_cache_in_exactly_one_cloud() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let net = EdgeNetwork::generate(47, 5, &mut rng);
+        let lm = random_landmarks(6, &mut rng);
+        let clouds = cluster_by_landmarks(&net, &lm, 10);
+        let mut seen = std::collections::HashSet::new();
+        for cloud in &clouds {
+            assert!(!cloud.is_empty());
+            assert!(cloud.len() <= 10);
+            for c in cloud {
+                assert!(seen.insert(*c), "cache {c} in two clouds");
+            }
+        }
+        assert_eq!(seen.len(), 47);
+    }
+
+    #[test]
+    fn oversized_bins_are_split() {
+        let net = grid_network();
+        let landmarks = vec![Coordinates::new(0.5, 0.5)];
+        let clouds = cluster_by_landmarks(&net, &landmarks, 5);
+        assert!(clouds.len() >= 3, "12 caches / max 5 -> at least 3 clouds");
+        assert!(clouds.iter().all(|c| c.len() <= 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one landmark")]
+    fn no_landmarks_panics() {
+        let _ = cluster_by_landmarks(&grid_network(), &[], 5);
+    }
+}

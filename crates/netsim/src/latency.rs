@@ -1,0 +1,157 @@
+//! Latency model for intra-cloud and cache↔origin communication.
+
+use cachecloud_sim::SimRng;
+use cachecloud_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Base delays for the two communication scopes, with optional jitter.
+///
+/// The whole premise of cooperative edge caching is that "retrieving a
+/// document from a nearby cache can significantly reduce the latency of a
+/// local miss" (paper §1): intra-cloud round trips are an order of magnitude
+/// cheaper than reaching the origin.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_net::LatencyModel;
+/// use cachecloud_sim::SimRng;
+///
+/// let m = LatencyModel::default_edge();
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let near = m.sample_intra_cloud(&mut rng);
+/// let far = m.sample_to_origin(&mut rng);
+/// assert!(far > near);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    intra_cloud: SimDuration,
+    to_origin: SimDuration,
+    /// Multiplicative jitter amplitude in `[0, 1)`: each sample is scaled by
+    /// `1 ± jitter`.
+    jitter: f64,
+}
+
+impl LatencyModel {
+    /// A model with explicit base delays and jitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cachecloud_types::CacheCloudError::InvalidConfig`] if
+    /// `jitter` is not in `[0, 1)`.
+    pub fn new(
+        intra_cloud: SimDuration,
+        to_origin: SimDuration,
+        jitter: f64,
+    ) -> cachecloud_types::Result<Self> {
+        if !(0.0..1.0).contains(&jitter) {
+            return Err(cachecloud_types::CacheCloudError::InvalidConfig {
+                param: "jitter",
+                reason: format!("jitter {jitter} must lie in [0, 1)"),
+            });
+        }
+        Ok(LatencyModel {
+            intra_cloud,
+            to_origin,
+            jitter,
+        })
+    }
+
+    /// Typical edge numbers: 5 ms within a cloud, 80 ms to the origin,
+    /// 30 % jitter.
+    pub fn default_edge() -> Self {
+        LatencyModel {
+            intra_cloud: SimDuration::from_millis(5),
+            to_origin: SimDuration::from_millis(80),
+            jitter: 0.3,
+        }
+    }
+
+    /// A jitterless model, for deterministic protocol tests.
+    pub fn deterministic(intra_cloud: SimDuration, to_origin: SimDuration) -> Self {
+        LatencyModel {
+            intra_cloud,
+            to_origin,
+            jitter: 0.0,
+        }
+    }
+
+    /// Base one-way delay between caches of the same cloud.
+    pub fn intra_cloud(&self) -> SimDuration {
+        self.intra_cloud
+    }
+
+    /// Base one-way delay between a cache and the origin.
+    pub fn to_origin(&self) -> SimDuration {
+        self.to_origin
+    }
+
+    fn jittered(&self, base: SimDuration, rng: &mut SimRng) -> SimDuration {
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let factor = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        SimDuration::from_secs_f64(base.as_secs_f64() * factor)
+    }
+
+    /// Samples an intra-cloud one-way delay.
+    pub fn sample_intra_cloud(&self, rng: &mut SimRng) -> SimDuration {
+        self.jittered(self.intra_cloud, rng)
+    }
+
+    /// Samples a cache↔origin one-way delay.
+    pub fn sample_to_origin(&self, rng: &mut SimRng) -> SimDuration {
+        self.jittered(self.to_origin, rng)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::default_edge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_model_has_no_jitter() {
+        let m = LatencyModel::deterministic(
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(50),
+        );
+        let mut rng = SimRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample_intra_cloud(&mut rng), SimDuration::from_millis(3));
+            assert_eq!(m.sample_to_origin(&mut rng), SimDuration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let m = LatencyModel::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(100),
+            0.5,
+        )
+        .unwrap();
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let s = m.sample_intra_cloud(&mut rng).as_secs_f64();
+            assert!((0.005..=0.015).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn origin_dominates_intra_cloud_in_default() {
+        let m = LatencyModel::default_edge();
+        assert!(m.to_origin().as_secs_f64() > 10.0 * m.intra_cloud().as_secs_f64());
+    }
+
+    #[test]
+    fn invalid_jitter_rejected() {
+        assert!(LatencyModel::new(SimDuration::ZERO, SimDuration::ZERO, 1.0).is_err());
+        assert!(LatencyModel::new(SimDuration::ZERO, SimDuration::ZERO, -0.1).is_err());
+    }
+}

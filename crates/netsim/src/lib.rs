@@ -1,0 +1,45 @@
+//! The edge-network model: node placement, landmark-based cloud formation,
+//! latency, message sizing and traffic accounting.
+//!
+//! The paper assumes cache clouds are formed from network-proximal caches by
+//! an "Internet landmarks-based technique" (its reference \[12\], unpublished);
+//! [`landmarks`] provides a working stand-in with the same interface. The
+//! remaining modules supply what the trace-driven evaluation needs:
+//!
+//! * [`latency::LatencyModel`] — intra-cloud vs cache↔origin delays
+//!   (retrieving from a nearby cache must be much cheaper than contacting
+//!   the remote origin, the premise of cooperative edge caching);
+//! * [`message::MessageKind`] — the protocol messages and their wire sizes,
+//!   so network load can be accounted in bytes;
+//! * [`traffic::TrafficMeter`] — per-category MB-per-unit-time series, the
+//!   paper's Figures 8 and 9 metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_net::{LatencyModel, MessageKind, TrafficMeter};
+//! use cachecloud_types::{ByteSize, SimTime};
+//!
+//! let latency = LatencyModel::default_edge();
+//! assert!(latency.intra_cloud() < latency.to_origin());
+//!
+//! let mut meter = TrafficMeter::per_minute();
+//! let doc = ByteSize::from_kib(12);
+//! meter.record(SimTime::ZERO, MessageKind::DocTransfer, doc, true);
+//! assert!(meter.intra_cloud_total().as_bytes() > 12 * 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod landmarks;
+pub mod latency;
+pub mod message;
+pub mod topology;
+pub mod traffic;
+
+pub use landmarks::cluster_by_landmarks;
+pub use latency::LatencyModel;
+pub use message::MessageKind;
+pub use topology::{Coordinates, EdgeNetwork};
+pub use traffic::TrafficMeter;

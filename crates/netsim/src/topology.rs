@@ -1,0 +1,174 @@
+//! Node placement: synthetic coordinates for edge caches and the origin.
+
+use cachecloud_sim::SimRng;
+use cachecloud_types::CacheId;
+use serde::{Deserialize, Serialize};
+
+/// A point in the synthetic 2-D network space.
+///
+/// Distances in this space stand in for network proximity; the landmark
+/// clustering and the distance-scaled latency model both read them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Coordinates {
+    /// Horizontal position in `[0, 1]`.
+    pub x: f64,
+    /// Vertical position in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Coordinates {
+    /// Creates a coordinate pair.
+    pub fn new(x: f64, y: f64) -> Self {
+        Coordinates { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Coordinates) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// The placed edge network: caches, clustered around metro hot-spots, plus a
+/// distant origin server.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_net::EdgeNetwork;
+/// use cachecloud_sim::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let net = EdgeNetwork::generate(30, 4, &mut rng);
+/// assert_eq!(net.num_caches(), 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeNetwork {
+    caches: Vec<Coordinates>,
+    origin: Coordinates,
+}
+
+impl EdgeNetwork {
+    /// Generates `num_caches` caches grouped around `num_metros` random
+    /// metro centres, with the origin placed outside the unit square (the
+    /// origin is always "far").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_caches` or `num_metros` is zero.
+    pub fn generate(num_caches: usize, num_metros: usize, rng: &mut SimRng) -> Self {
+        assert!(num_caches > 0, "need at least one cache");
+        assert!(num_metros > 0, "need at least one metro");
+        let metros: Vec<Coordinates> = (0..num_metros)
+            .map(|_| Coordinates::new(rng.next_f64(), rng.next_f64()))
+            .collect();
+        let caches = (0..num_caches)
+            .map(|i| {
+                let m = metros[i % num_metros];
+                Coordinates::new(
+                    (m.x + rng.standard_normal() * 0.03).clamp(0.0, 1.0),
+                    (m.y + rng.standard_normal() * 0.03).clamp(0.0, 1.0),
+                )
+            })
+            .collect();
+        EdgeNetwork {
+            caches,
+            origin: Coordinates::new(2.5, 2.5),
+        }
+    }
+
+    /// Builds a network from explicit positions.
+    pub fn from_positions(caches: Vec<Coordinates>, origin: Coordinates) -> Self {
+        EdgeNetwork { caches, origin }
+    }
+
+    /// Number of caches.
+    pub fn num_caches(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Position of a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is out of range.
+    pub fn cache_position(&self, cache: CacheId) -> Coordinates {
+        self.caches[cache.index()]
+    }
+
+    /// All cache positions in index order.
+    pub fn cache_positions(&self) -> &[Coordinates] {
+        &self.caches
+    }
+
+    /// Position of the origin server.
+    pub fn origin_position(&self) -> Coordinates {
+        self.origin
+    }
+
+    /// Distance between two caches.
+    pub fn cache_distance(&self, a: CacheId, b: CacheId) -> f64 {
+        self.cache_position(a).distance(&self.cache_position(b))
+    }
+
+    /// Distance from a cache to the origin.
+    pub fn origin_distance(&self, cache: CacheId) -> f64 {
+        self.cache_position(cache).distance(&self.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Coordinates::new(0.0, 0.0);
+        let b = Coordinates::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = SimRng::seed_from_u64(5);
+        let mut r2 = SimRng::seed_from_u64(5);
+        assert_eq!(
+            EdgeNetwork::generate(20, 3, &mut r1),
+            EdgeNetwork::generate(20, 3, &mut r2)
+        );
+    }
+
+    #[test]
+    fn metro_mates_are_closer_than_strangers() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let net = EdgeNetwork::generate(40, 4, &mut rng);
+        // Caches i and i+4k share a metro (round-robin placement).
+        let same = net.cache_distance(CacheId(0), CacheId(4));
+        // Average cross-metro distance should dominate within-metro spread.
+        let mut cross = 0.0;
+        let mut count = 0;
+        for i in 1..4 {
+            cross += net.cache_distance(CacheId(0), CacheId(i));
+            count += 1;
+        }
+        // Not guaranteed for every draw of metros, but with seed 9 the
+        // metros are well separated; this guards the generator's shape.
+        assert!(same < cross / count as f64);
+    }
+
+    #[test]
+    fn origin_is_far_from_everything() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let net = EdgeNetwork::generate(10, 2, &mut rng);
+        for i in 0..10 {
+            assert!(net.origin_distance(CacheId(i)) > 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one cache")]
+    fn zero_caches_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = EdgeNetwork::generate(0, 1, &mut rng);
+    }
+}

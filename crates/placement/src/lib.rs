@@ -1,0 +1,61 @@
+//! Document placement policies for cache clouds (paper §3).
+//!
+//! When an edge cache retrieves a document after a local miss it must decide
+//! whether to *store* the copy. The paper compares three policies:
+//!
+//! * **ad hoc** ([`AdHocPolicy`]) — store at every cache that saw a request;
+//!   uncontrolled replication inflates consistency-maintenance cost and
+//!   disk contention;
+//! * **beacon point** ([`BeaconPointPolicy`]) — store only at the document's
+//!   beacon point; one copy per cloud, repeated intra-cloud transfers;
+//! * **utility-based** ([`UtilityBasedPolicy`]) — the paper's contribution:
+//!   store iff a weighted sum of four normalized benefit/cost components
+//!   exceeds a threshold (§3.1). The components ([`utility`]) are access
+//!   frequency (AFC), availability improvement (DAC), disk-space contention
+//!   (DsCC) and consistency maintenance (CMC).
+//!
+//! The paper's exact component formulas live in an unavailable technical
+//! report; our formulations (documented per component) are normalized to
+//! `[0, 1]` and monotone in the same quantities, which is sufficient to
+//! reproduce Figures 7–9.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_placement::{PlacementContext, PlacementPolicy, UtilityBasedPolicy,
+//!                            UtilityWeights};
+//! use cachecloud_types::SimTime;
+//!
+//! // The paper's Fig 7/8 configuration: DsCC off, equal thirds, threshold ½.
+//! let policy = UtilityBasedPolicy::new(UtilityWeights::equal_three(), 0.5).unwrap();
+//! let hot_rarely_updated = PlacementContext {
+//!     now: SimTime::ZERO,
+//!     is_beacon: false,
+//!     copies_in_cloud: 0,
+//!     access_rate: 10.0,
+//!     prior_access_rate: 8.0,
+//!     mean_access_rate: 2.0,
+//!     update_rate: 0.1,
+//!     residence_here: None,
+//!     max_residence_elsewhere: None,
+//! };
+//! assert!(policy.should_store(&hot_rarely_updated));
+//! let cold_hot_updated = PlacementContext {
+//!     access_rate: 0.05,
+//!     update_rate: 30.0,
+//!     copies_in_cloud: 5,
+//!     ..hot_rarely_updated
+//! };
+//! assert!(!policy.should_store(&cold_hot_updated));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+pub mod policy;
+pub mod utility;
+
+pub use monitor::RateMonitor;
+pub use policy::{AdHocPolicy, BeaconPointPolicy, PlacementContext, PlacementPolicy, UtilityBasedPolicy};
+pub use utility::{UtilityBreakdown, UtilityWeights};

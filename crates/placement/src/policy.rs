@@ -1,0 +1,232 @@
+//! The placement policies: ad hoc, beacon point and utility-based.
+
+use cachecloud_types::{SimDuration, SimTime};
+
+use crate::utility::{self, UtilityBreakdown, UtilityWeights};
+
+/// Everything a placement decision can see about one candidate store.
+///
+/// Assembled by the cache-cloud runtime when a cache has just retrieved a
+/// document after a local miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementContext {
+    /// Decision time.
+    pub now: SimTime,
+    /// Whether the deciding cache is the document's beacon point.
+    pub is_beacon: bool,
+    /// Copies of the document currently held in this cloud (excluding the
+    /// one just retrieved).
+    pub copies_in_cloud: usize,
+    /// The document's access rate at this cache, events/minute, including
+    /// the access that triggered this decision.
+    pub access_rate: f64,
+    /// The document's access rate at this cache *before* the triggering
+    /// access — the established rate. DsCC's reuse yardstick uses this, so
+    /// a first-ever access (established rate 0) reads as "reuse unknown"
+    /// rather than inheriting the impulse of the access itself.
+    pub prior_access_rate: f64,
+    /// Mean access rate over the documents this cache currently stores,
+    /// events/minute.
+    pub mean_access_rate: f64,
+    /// The document's cloud-wide update rate, events/minute.
+    pub update_rate: f64,
+    /// Estimated residence time of a new copy at this cache (`None` when
+    /// the store has never evicted — no observed contention).
+    pub residence_here: Option<SimDuration>,
+    /// Largest estimated remaining residence among the cloud's current
+    /// holders of the document (`None` when unknown).
+    pub max_residence_elsewhere: Option<SimDuration>,
+}
+
+/// Decides whether a just-retrieved document copy should be stored.
+pub trait PlacementPolicy: std::fmt::Debug + Send {
+    /// Short policy name for reports ("adhoc", "beacon", "utility").
+    fn name(&self) -> &'static str;
+
+    /// The placement decision.
+    fn should_store(&self, ctx: &PlacementContext) -> bool;
+}
+
+/// Store at every cache that received a request (paper §3's strawman).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdHocPolicy;
+
+impl AdHocPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        AdHocPolicy
+    }
+}
+
+impl PlacementPolicy for AdHocPolicy {
+    fn name(&self) -> &'static str {
+        "adhoc"
+    }
+    fn should_store(&self, _ctx: &PlacementContext) -> bool {
+        true
+    }
+}
+
+/// Store each document only at its beacon point (paper §3's other extreme:
+/// one copy per cloud, beacon points of hot documents overload and every
+/// other cache fetches remotely on every miss).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BeaconPointPolicy;
+
+impl BeaconPointPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        BeaconPointPolicy
+    }
+}
+
+impl PlacementPolicy for BeaconPointPolicy {
+    fn name(&self) -> &'static str {
+        "beacon"
+    }
+    fn should_store(&self, ctx: &PlacementContext) -> bool {
+        ctx.is_beacon
+    }
+}
+
+/// The paper's utility-based placement: store iff the weighted component sum
+/// exceeds the threshold (`UtilThreshold`, 0.5 in the experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct UtilityBasedPolicy {
+    weights: UtilityWeights,
+    threshold: f64,
+}
+
+impl UtilityBasedPolicy {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cachecloud_types::CacheCloudError::InvalidConfig`] if
+    /// `threshold` is not in `[0, 1]`.
+    pub fn new(weights: UtilityWeights, threshold: f64) -> cachecloud_types::Result<Self> {
+        if !(0.0..=1.0).contains(&threshold) || !threshold.is_finite() {
+            return Err(cachecloud_types::CacheCloudError::InvalidConfig {
+                param: "utility_threshold",
+                reason: format!("threshold {threshold} must lie in [0, 1]"),
+            });
+        }
+        Ok(UtilityBasedPolicy { weights, threshold })
+    }
+
+    /// The component weights.
+    pub fn weights(&self) -> UtilityWeights {
+        self.weights
+    }
+
+    /// The storage threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Evaluates the utility function without deciding, exposing the
+    /// component values (used by the ablation bench and tests).
+    pub fn evaluate(&self, ctx: &PlacementContext) -> UtilityBreakdown {
+        utility::evaluate(&self.weights, ctx)
+    }
+}
+
+impl PlacementPolicy for UtilityBasedPolicy {
+    fn name(&self) -> &'static str {
+        "utility"
+    }
+    fn should_store(&self, ctx: &PlacementContext) -> bool {
+        self.evaluate(ctx).total > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PlacementContext {
+        PlacementContext {
+            now: SimTime::ZERO,
+            is_beacon: false,
+            copies_in_cloud: 2,
+            access_rate: 1.0,
+            prior_access_rate: 1.0,
+            mean_access_rate: 1.0,
+            update_rate: 1.0,
+            residence_here: None,
+            max_residence_elsewhere: None,
+        }
+    }
+
+    #[test]
+    fn adhoc_always_stores() {
+        let p = AdHocPolicy::new();
+        assert!(p.should_store(&ctx()));
+        assert!(p.should_store(&PlacementContext {
+            update_rate: 1e9,
+            ..ctx()
+        }));
+        assert_eq!(p.name(), "adhoc");
+    }
+
+    #[test]
+    fn beacon_stores_only_at_beacon() {
+        let p = BeaconPointPolicy::new();
+        assert!(!p.should_store(&ctx()));
+        assert!(p.should_store(&PlacementContext {
+            is_beacon: true,
+            ..ctx()
+        }));
+    }
+
+    #[test]
+    fn utility_threshold_gates_storage() {
+        let loose = UtilityBasedPolicy::new(UtilityWeights::equal_three(), 0.0).unwrap();
+        let strict = UtilityBasedPolicy::new(UtilityWeights::equal_three(), 1.0).unwrap();
+        let c = PlacementContext {
+            access_rate: 5.0,
+            update_rate: 0.1,
+            copies_in_cloud: 0,
+            ..ctx()
+        };
+        assert!(loose.should_store(&c));
+        assert!(!strict.should_store(&c));
+    }
+
+    #[test]
+    fn utility_prefers_hot_rarely_updated_documents() {
+        let p = UtilityBasedPolicy::new(UtilityWeights::equal_three(), 0.5).unwrap();
+        let hot = PlacementContext {
+            access_rate: 20.0,
+            update_rate: 0.5,
+            copies_in_cloud: 0,
+            ..ctx()
+        };
+        let churny = PlacementContext {
+            access_rate: 0.2,
+            update_rate: 50.0,
+            copies_in_cloud: 6,
+            ..ctx()
+        };
+        assert!(p.should_store(&hot));
+        assert!(!p.should_store(&churny));
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        assert!(UtilityBasedPolicy::new(UtilityWeights::equal_three(), 1.5).is_err());
+        assert!(UtilityBasedPolicy::new(UtilityWeights::equal_three(), -0.1).is_err());
+        assert!(UtilityBasedPolicy::new(UtilityWeights::equal_three(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let w = UtilityWeights::equal_four();
+        let p = UtilityBasedPolicy::new(w, 0.4).unwrap();
+        assert_eq!(p.weights(), w);
+        assert_eq!(p.threshold(), 0.4);
+        assert_eq!(p.name(), "utility");
+        let b = p.evaluate(&ctx());
+        assert!((0.0..=1.0).contains(&b.total));
+    }
+}

@@ -1,0 +1,369 @@
+//! The utility function: four normalized components and their weighted sum
+//! (paper §3.1).
+
+use cachecloud_types::CacheCloudError;
+use serde::{Deserialize, Serialize};
+
+use crate::policy::PlacementContext;
+
+/// Seconds stood in for "effectively never evicted" when a store has
+/// unlimited disk or has not evicted yet.
+const NO_CONTENTION_SECS: f64 = 1e12;
+
+/// Access-rate floor (events/minute) applied to the *established* rate in
+/// CMC: the access that triggered the decision is itself evidence of a
+/// small nonzero rate, so an unknown document is treated as one accessed
+/// roughly every 50 minutes rather than never.
+const MIN_EVIDENCE_RATE: f64 = 0.02;
+
+/// Weights of the four utility components.
+///
+/// The paper requires non-negative weights summing to one, "assigned values
+/// reflecting the relative importance of the corresponding component"; in
+/// the experiments every enabled component gets `1/k`.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_placement::UtilityWeights;
+///
+/// let w3 = UtilityWeights::equal_three(); // DsCC off (paper Figs 7–8)
+/// assert_eq!(w3.dscc, 0.0);
+/// let w4 = UtilityWeights::equal_four(); // all on (paper Fig 9)
+/// assert!((w4.afc - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityWeights {
+    /// Access-frequency component weight.
+    pub afc: f64,
+    /// Document-availability-improvement component weight.
+    pub dac: f64,
+    /// Disk-space-contention component weight.
+    pub dscc: f64,
+    /// Consistency-maintenance component weight.
+    pub cmc: f64,
+}
+
+impl UtilityWeights {
+    /// Validated construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] if any weight is negative
+    /// or non-finite, or the weights do not sum to 1 (±1e-6).
+    pub fn new(afc: f64, dac: f64, dscc: f64, cmc: f64) -> cachecloud_types::Result<Self> {
+        for (name, w) in [("afc", afc), ("dac", dac), ("dscc", dscc), ("cmc", cmc)] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(CacheCloudError::InvalidConfig {
+                    param: "utility_weights",
+                    reason: format!("weight {name} = {w} must be a non-negative finite number"),
+                });
+            }
+        }
+        let sum = afc + dac + dscc + cmc;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "utility_weights",
+                reason: format!("weights must sum to 1, got {sum}"),
+            });
+        }
+        Ok(UtilityWeights {
+            afc,
+            dac,
+            dscc,
+            cmc,
+        })
+    }
+
+    /// DsCC turned off, the three remaining components at ⅓ each — the
+    /// paper's unlimited-disk configuration (Figs 7–8).
+    pub fn equal_three() -> Self {
+        UtilityWeights {
+            afc: 1.0 / 3.0,
+            dac: 1.0 / 3.0,
+            dscc: 0.0,
+            cmc: 1.0 / 3.0,
+        }
+    }
+
+    /// All four components at ¼ — the paper's limited-disk configuration
+    /// (Fig 9).
+    pub fn equal_four() -> Self {
+        UtilityWeights {
+            afc: 0.25,
+            dac: 0.25,
+            dscc: 0.25,
+            cmc: 0.25,
+        }
+    }
+}
+
+impl Default for UtilityWeights {
+    fn default() -> Self {
+        UtilityWeights::equal_three()
+    }
+}
+
+/// The evaluated utility of storing one document copy, component by
+/// component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityBreakdown {
+    /// Access-frequency component value in `[0, 1]`.
+    pub afc: f64,
+    /// Availability-improvement component value in `[0, 1]`.
+    pub dac: f64,
+    /// Disk-space-contention component value in `[0, 1]`.
+    pub dscc: f64,
+    /// Consistency-maintenance component value in `[0, 1]`.
+    pub cmc: f64,
+    /// The weighted sum.
+    pub total: f64,
+}
+
+/// Access-frequency component (`AFC`): how hot the document is at this
+/// cache relative to the documents the cache already stores.
+///
+/// `AFC = a / (a + ā)` where `a` is the document's local access rate and `ā`
+/// the mean access rate over resident documents; ½ when both are zero
+/// (no evidence either way).
+pub fn afc(access_rate: f64, mean_access_rate: f64) -> f64 {
+    let a = access_rate.max(0.0);
+    let m = mean_access_rate.max(0.0);
+    if a + m == 0.0 {
+        0.5
+    } else {
+        a / (a + m)
+    }
+}
+
+/// Document-availability-improvement component (`DAC`): the marginal value
+/// of one more copy in the cloud.
+///
+/// `DAC = 1 / (k + 1)` with `k` the current number of copies: 1 on a group
+/// miss, diminishing returns per additional replica.
+pub fn dac(copies_in_cloud: usize) -> f64 {
+    1.0 / (copies_in_cloud as f64 + 1.0)
+}
+
+/// Disk-space-contention component (`DsCC`): whether the new copy would
+/// live long enough to be worth its disk space.
+///
+/// The paper defines DsCC through expected residence times: "a higher value
+/// implies that the new document copy … is likely to remain longer in the
+/// cache cloud than the existing copies". We compare the estimated
+/// residence time at the deciding cache, `T_here`, against the *longer* of
+/// two yardsticks: the most stable existing copy's residence
+/// (`T_elsewhere`) and the document's own local reuse interval
+/// (`1 / access_rate`) — a copy that will be evicted before its next local
+/// access, or that dies sooner than copies the cloud already has, is poor
+/// use of contended disk:
+///
+/// `DsCC = T_here / (T_here + max(T_elsewhere, 1/access_rate))`
+///
+/// Unobserved contention (a store that has never evicted) counts as
+/// effectively infinite residence, so DsCC ≈ 1 on unlimited disks.
+pub fn dscc(
+    copies_in_cloud: usize,
+    access_rate: f64,
+    residence_here_secs: Option<f64>,
+    max_residence_elsewhere_secs: Option<f64>,
+) -> f64 {
+    let here = residence_here_secs.unwrap_or(NO_CONTENTION_SECS).max(0.0);
+    // Local reuse interval in seconds; an unaccessed document reuses "never".
+    let reuse = if access_rate > 0.0 {
+        60.0 / access_rate
+    } else {
+        NO_CONTENTION_SECS
+    };
+    let elsewhere = if copies_in_cloud == 0 {
+        0.0
+    } else {
+        max_residence_elsewhere_secs
+            .unwrap_or(NO_CONTENTION_SECS)
+            .max(0.0)
+    };
+    let yardstick = elsewhere.max(reuse);
+    if here + yardstick == 0.0 {
+        0.5
+    } else {
+        here / (here + yardstick)
+    }
+}
+
+/// Consistency-maintenance component (`CMC`): accesses saved versus update
+/// propagations incurred.
+///
+/// `CMC = a / (a + u)`: above ½ iff the document is accessed more often
+/// than it is updated ("a high value indicates the document is accessed
+/// more frequently than it is updated", paper §3.1); ½ when both are zero.
+///
+/// Callers should pass the document's *established* access rate (excluding
+/// the access that triggered the decision): the triggering access has
+/// already been served, so the copy's future benefit — the accesses it will
+/// save — is estimated by the established rate, while its future cost is
+/// the update rate either way.
+pub fn cmc(access_rate: f64, update_rate: f64) -> f64 {
+    let a = access_rate.max(0.0);
+    let u = update_rate.max(0.0);
+    if a + u == 0.0 {
+        0.5
+    } else {
+        a / (a + u)
+    }
+}
+
+/// Evaluates the full utility function for a placement decision.
+pub fn evaluate(weights: &UtilityWeights, ctx: &PlacementContext) -> UtilityBreakdown {
+    let afc_v = afc(ctx.access_rate, ctx.mean_access_rate);
+    let dac_v = dac(ctx.copies_in_cloud);
+    let dscc_v = dscc(
+        ctx.copies_in_cloud,
+        ctx.prior_access_rate,
+        ctx.residence_here.map(|d| d.as_secs_f64()),
+        ctx.max_residence_elsewhere.map(|d| d.as_secs_f64()),
+    );
+    let cmc_v = cmc(ctx.prior_access_rate.max(MIN_EVIDENCE_RATE), ctx.update_rate);
+    UtilityBreakdown {
+        afc: afc_v,
+        dac: dac_v,
+        dscc: dscc_v,
+        cmc: cmc_v,
+        total: weights.afc * afc_v
+            + weights.dac * dac_v
+            + weights.dscc * dscc_v
+            + weights.cmc * cmc_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecloud_types::{SimDuration, SimTime};
+
+    fn ctx() -> PlacementContext {
+        PlacementContext {
+            now: SimTime::ZERO,
+            is_beacon: false,
+            copies_in_cloud: 1,
+            access_rate: 1.0,
+            prior_access_rate: 1.0,
+            mean_access_rate: 1.0,
+            update_rate: 1.0,
+            residence_here: None,
+            max_residence_elsewhere: None,
+        }
+    }
+
+    #[test]
+    fn components_are_in_unit_interval() {
+        for a in [0.0, 0.5, 10.0, 1e6] {
+            for m in [0.0, 1.0, 1e6] {
+                assert!((0.0..=1.0).contains(&afc(a, m)));
+                assert!((0.0..=1.0).contains(&cmc(a, m)));
+            }
+        }
+        for k in [0usize, 1, 5, 100] {
+            assert!((0.0..=1.0).contains(&dac(k)));
+            assert!((0.0..=1.0).contains(&dscc(k, 1.0, Some(10.0), Some(5.0))));
+        }
+    }
+
+    #[test]
+    fn afc_midpoint_and_monotonicity() {
+        assert_eq!(afc(0.0, 0.0), 0.5);
+        assert_eq!(afc(3.0, 3.0), 0.5);
+        assert!(afc(10.0, 1.0) > afc(1.0, 1.0));
+        assert!(afc(0.1, 1.0) < 0.5);
+    }
+
+    #[test]
+    fn dac_diminishing_returns() {
+        assert_eq!(dac(0), 1.0);
+        assert_eq!(dac(1), 0.5);
+        assert!(dac(2) < dac(1));
+        assert!(dac(100) < 0.01 + f64::EPSILON);
+    }
+
+    #[test]
+    fn cmc_reflects_access_update_balance() {
+        // Accessed more than updated → above ½.
+        assert!(cmc(10.0, 1.0) > 0.5);
+        // Updated more than accessed → below ½.
+        assert!(cmc(1.0, 10.0) < 0.5);
+        assert_eq!(cmc(0.0, 0.0), 0.5);
+        // Increasing update rate strictly lowers CMC.
+        assert!(cmc(1.0, 2.0) > cmc(1.0, 4.0));
+    }
+
+    #[test]
+    fn dscc_semantics() {
+        // No copy anywhere, hot locally, stable store: high benefit.
+        assert!(dscc(0, 60.0, Some(1000.0), None) > 0.99);
+        // No copy anywhere but the store has never evicted: ~1 regardless
+        // of access rate (the unlimited-disk degenerate case).
+        assert!(dscc(0, 0.001, None, None) > 0.49);
+        // Here evicts fast, elsewhere stable: low benefit.
+        assert!(dscc(1, 60.0, Some(1.0), Some(1000.0)) < 0.1);
+        // Here stable, elsewhere churns, hot locally: high benefit.
+        assert!(dscc(1, 60.0, Some(1000.0), Some(1.0)) > 0.9);
+        // The copy would be evicted long before its next local reuse: low.
+        assert!(dscc(0, 0.01, Some(30.0), None) < 0.01);
+        // Both unobserved: the reuse yardstick and residence are both huge.
+        assert!((dscc(1, 1.0, None, None) - 0.5).abs() < 0.5);
+        // Degenerate zeros stay neutral.
+        assert_eq!(dscc(1, 0.0, Some(0.0), Some(0.0)), 0.0);
+    }
+
+    #[test]
+    fn weights_validate() {
+        assert!(UtilityWeights::new(0.25, 0.25, 0.25, 0.25).is_ok());
+        assert!(UtilityWeights::new(0.5, 0.5, 0.0, 0.0).is_ok());
+        assert!(UtilityWeights::new(0.5, 0.5, 0.5, 0.5).is_err());
+        assert!(UtilityWeights::new(-0.5, 0.5, 0.5, 0.5).is_err());
+        assert!(UtilityWeights::new(f64::NAN, 0.5, 0.25, 0.25).is_err());
+        let w3 = UtilityWeights::equal_three();
+        assert!((w3.afc + w3.dac + w3.cmc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_weighted_sum() {
+        let w = UtilityWeights::equal_four();
+        let b = evaluate(&w, &ctx());
+        let expect = 0.25 * (b.afc + b.dac + b.dscc + b.cmc);
+        assert!((b.total - expect).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&b.total));
+    }
+
+    #[test]
+    fn update_rate_sweep_lowers_utility() {
+        // The mechanism behind Fig 7: raising the update rate (all else
+        // equal) lowers the total utility via CMC.
+        let w = UtilityWeights::equal_three();
+        let mut prev = f64::INFINITY;
+        for u in [0.1, 1.0, 10.0, 100.0, 1000.0] {
+            let c = PlacementContext {
+                update_rate: u,
+                ..ctx()
+            };
+            let total = evaluate(&w, &c).total;
+            assert!(total < prev, "utility must fall as updates rise");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn residence_durations_flow_through() {
+        let w = UtilityWeights::equal_four();
+        let roomy = PlacementContext {
+            residence_here: Some(SimDuration::from_hours(10)),
+            max_residence_elsewhere: Some(SimDuration::from_secs(30)),
+            ..ctx()
+        };
+        let cramped = PlacementContext {
+            residence_here: Some(SimDuration::from_secs(30)),
+            max_residence_elsewhere: Some(SimDuration::from_hours(10)),
+            ..ctx()
+        };
+        assert!(evaluate(&w, &roomy).total > evaluate(&w, &cramped).total);
+    }
+}

@@ -1,0 +1,359 @@
+//! The event queue and virtual clock.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cachecloud_types::{SimDuration, SimTime};
+
+/// A boxed event action.
+type Action<S> = Box<dyn FnOnce(&mut Simulation<S>)>;
+
+/// A scheduled event: fire time, a monotone sequence number for stable
+/// FIFO ordering among simultaneous events, and the action itself.
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A discrete-event simulation over a state `S`.
+///
+/// Events are closures receiving `&mut Simulation<S>`, so an event can both
+/// mutate the state and schedule follow-up events. Two events scheduled for
+/// the same virtual instant run in the order they were scheduled.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_sim::Simulation;
+/// use cachecloud_types::SimDuration;
+///
+/// let mut sim = Simulation::new(0u64);
+/// for i in 1..=10 {
+///     sim.schedule_in(SimDuration::from_secs(i), move |sim| *sim.state_mut() += i);
+/// }
+/// let events = sim.run();
+/// assert_eq!(events, 10);
+/// assert_eq!(*sim.state(), 55);
+/// ```
+pub struct Simulation<S> {
+    state: S,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    seq: u64,
+    executed: u64,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation at time zero over the given state.
+    pub fn new(state: S) -> Self {
+        Simulation {
+            state,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the simulated state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulated state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the simulation, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at the absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (strictly before [`Simulation::now`]).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Simulation<S>) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Simulation<S>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules `tick` to run every `period`, starting at `start`, until it
+    /// returns `false`.
+    ///
+    /// This drives the paper's per-cycle sub-range determination (cycle
+    /// length one hour in the experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the task would livelock virtual time).
+    pub fn schedule_periodic(
+        &mut self,
+        start: SimTime,
+        period: SimDuration,
+        tick: impl FnMut(&mut Simulation<S>) -> bool + 'static,
+    ) {
+        assert!(!period.is_zero(), "periodic task period must be non-zero");
+        fn arm<S>(
+            sim: &mut Simulation<S>,
+            at: SimTime,
+            period: SimDuration,
+            mut tick: impl FnMut(&mut Simulation<S>) -> bool + 'static,
+        ) {
+            sim.schedule_at(at, move |sim| {
+                if tick(sim) {
+                    let next = sim.now() + period;
+                    arm(sim, next, period, tick);
+                }
+            });
+        }
+        arm(self, start, period, tick);
+    }
+
+    /// Executes the single earliest pending event, advancing the clock.
+    ///
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(ev)) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty; returns the number of events executed
+    /// by this call.
+    pub fn run(&mut self) -> u64 {
+        let before = self.executed;
+        while self.step() {}
+        self.executed - before
+    }
+
+    /// Runs events with fire time `<= deadline`; the clock finishes at
+    /// `max(now, deadline)` even if the queue empties early. Returns the
+    /// number of events executed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.executed;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.executed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_in(SimDuration::from_secs(3), |s| s.state_mut().push(3));
+        sim.schedule_in(SimDuration::from_secs(1), |s| s.state_mut().push(1));
+        sim.schedule_in(SimDuration::from_secs(2), |s| s.state_mut().push(2));
+        assert_eq!(sim.run(), 3);
+        assert_eq!(sim.state(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulation::new(Vec::new());
+        for i in 0..100 {
+            sim.schedule_at(SimTime::from_micros(42), move |s| s.state_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state(), &(0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_secs(1), |s| {
+            *s.state_mut() += 1;
+            s.schedule_in(SimDuration::from_secs(1), |s| {
+                *s.state_mut() += 10;
+                s.schedule_in(SimDuration::from_secs(1), |s| *s.state_mut() += 100);
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.state(), 111);
+        assert_eq!(sim.now(), SimTime::from_micros(3_000_000));
+    }
+
+    #[test]
+    fn zero_delay_event_runs_at_now() {
+        let mut sim = Simulation::new(false);
+        sim.schedule_in(SimDuration::ZERO, |s| *s.state_mut() = true);
+        sim.run();
+        assert!(*sim.state());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_in(SimDuration::from_secs(10), |s| {
+            s.schedule_at(SimTime::from_micros(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(Vec::new());
+        for t in [1u64, 2, 3, 4, 5] {
+            sim.schedule_in(SimDuration::from_secs(t), move |s| s.state_mut().push(t));
+        }
+        let n = sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        assert_eq!(n, 3);
+        assert_eq!(sim.state(), &vec![1, 2, 3]);
+        assert_eq!(sim.pending_events(), 2);
+        // Clock advanced exactly to the deadline.
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(3));
+        sim.run();
+        assert_eq!(sim.state(), &vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_empty() {
+        let mut sim = Simulation::new(());
+        let deadline = SimTime::ZERO + SimDuration::from_hours(1);
+        assert_eq!(sim.run_until(deadline), 0);
+        assert_eq!(sim.now(), deadline);
+    }
+
+    #[test]
+    fn periodic_task_fires_until_cancelled() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_periodic(
+            SimTime::ZERO + SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            |s| {
+                let t = s.now().as_secs_f64() as u64;
+                s.state_mut().push(t);
+                s.state().len() < 5
+            },
+        );
+        sim.run();
+        assert_eq!(sim.state(), &vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic task period must be non-zero")]
+    fn zero_period_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_periodic(SimTime::ZERO, SimDuration::ZERO, |_| true);
+    }
+
+    #[test]
+    fn step_and_counters() {
+        let mut sim = Simulation::new(0);
+        sim.schedule_in(SimDuration::from_secs(1), |s| *s.state_mut() += 1);
+        sim.schedule_in(SimDuration::from_secs(2), |s| *s.state_mut() += 1);
+        assert_eq!(sim.pending_events(), 2);
+        assert!(sim.step());
+        assert_eq!(sim.executed_events(), 1);
+        assert!(sim.step());
+        assert!(!sim.step());
+        assert_eq!(sim.executed_events(), 2);
+        assert_eq!(sim.into_state(), 2);
+    }
+
+    #[test]
+    fn interleaved_periodic_and_oneshot() {
+        // A periodic task at t=10,20,30 and one-shots at 15 and 25 must
+        // interleave correctly.
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_periodic(
+            SimTime::ZERO + SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            |s| {
+                let t = s.now().as_secs_f64() as u64;
+                s.state_mut().push(t);
+                t < 30
+            },
+        );
+        sim.schedule_in(SimDuration::from_secs(15), |s| s.state_mut().push(15));
+        sim.schedule_in(SimDuration::from_secs(25), |s| s.state_mut().push(25));
+        sim.run();
+        assert_eq!(sim.state(), &vec![10, 15, 20, 25, 30]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Seeded randomness with the distribution helpers the workload generators
+//! need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cachecloud_types::SimDuration;
+
+/// A deterministic random source for simulations.
+///
+/// Wraps a seeded [`StdRng`] and adds inverse-CDF / Box–Muller samplers for
+/// the distributions used when synthesizing traces (exponential inter-arrival
+/// times, log-normal document sizes, Pareto burst lengths). Two `SimRng`s
+/// created with the same seed produce identical streams.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_f64(), b.next_f64());
+/// let x = a.exponential(2.0);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; `label` decorrelates children
+    /// spawned from the same parent state.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let seed = self.inner.random::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "range must be non-empty");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// A fair coin with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential sample with the given rate (mean `1/rate`), via inverse
+    /// CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        // 1 - U in (0, 1], so ln never sees zero.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Exponentially distributed inter-arrival delay with the given mean.
+    pub fn exp_delay(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let secs = self.exponential(1.0 / mean.as_secs_f64());
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.next_f64(); // (0, 1]
+        let u2: f64 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal sample with the given parameters of the underlying normal.
+    ///
+    /// Web-object sizes are classically modelled log-normal; the Sydney
+    /// synthesizer uses this for document sizes.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Pareto sample with scale `xm > 0` and shape `alpha > 0` (heavy-tailed
+    /// burst lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm` or `alpha` is not strictly positive.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        xm / (1.0 - self.next_f64()).powf(1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_f64(), b.next_f64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_f64() == b.next_f64()).count();
+        assert!(same < 32);
+    }
+
+    #[test]
+    fn forked_children_are_decorrelated() {
+        let mut parent = SimRng::seed_from_u64(9);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..32).filter(|_| c1.next_f64() == c2.next_f64()).count();
+        assert!(same < 32);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let rate = 4.0;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_delay_mean_close() {
+        let mut rng = SimRng::seed_from_u64(43);
+        let mean = SimDuration::from_secs(10);
+        let n = 20_000u64;
+        let total: f64 = (0..n).map(|_| rng.exp_delay(mean).as_secs_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 10.0).abs() < 0.3, "avg {avg}");
+        assert_eq!(
+            SimRng::seed_from_u64(0).exp_delay(SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::seed_from_u64(44);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::seed_from_u64(45);
+        for _ in 0..1000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::seed_from_u64(46);
+        for _ in 0..1000 {
+            assert!(rng.log_normal(9.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(47);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0 + 1e-9)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(48);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn empty_range_panics() {
+        SimRng::seed_from_u64(0).next_usize(0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Byte-bounded cache stores with pluggable replacement policies.
+//!
+//! The paper's Figure 9 experiment bounds each edge cache's disk to 25 % of
+//! the corpus and uses LRU replacement; the placement scheme's disk-space
+//! contention component (`DsCC`) needs an estimate of how long a new copy
+//! will survive in a cache before being evicted. This crate provides:
+//!
+//! * [`CacheStore`] — a byte-capacity store of document copies with
+//!   version tracking and eviction accounting;
+//! * [`ReplacementPolicy`] — LRU (the paper's choice), plus FIFO, LFU and
+//!   GreedyDual-Size (cost-aware, the paper's citation \[3\]) for ablations;
+//! * [`ResidenceEstimator`] — an EWMA over eviction ages yielding the
+//!   store's characteristic residence time, which feeds `DsCC`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_storage::{CacheStore, LruPolicy};
+//! use cachecloud_types::{ByteSize, DocId, SimTime, SimDuration, Version};
+//!
+//! let mut store = CacheStore::new(ByteSize::from_bytes(250), Box::new(LruPolicy::new()));
+//! let t0 = SimTime::ZERO;
+//! store.insert(DocId::from_url("/a"), ByteSize::from_bytes(100), Version(1), t0).unwrap();
+//! store.insert(DocId::from_url("/b"), ByteSize::from_bytes(100), Version(1), t0).unwrap();
+//! // Touch /a so /b becomes the LRU victim.
+//! store.access(&DocId::from_url("/a"), t0 + SimDuration::from_secs(5));
+//! let evicted = store
+//!     .insert(DocId::from_url("/c"), ByteSize::from_bytes(100), Version(1),
+//!             t0 + SimDuration::from_secs(6))
+//!     .unwrap();
+//! assert_eq!(evicted, vec![DocId::from_url("/b")]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod residence;
+pub mod store;
+
+pub use policy::{FifoPolicy, GreedyDualSizePolicy, LfuPolicy, LruPolicy, ReplacementPolicy};
+pub use residence::ResidenceEstimator;
+pub use store::{CacheStore, CachedDocument};

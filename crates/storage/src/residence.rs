@@ -1,0 +1,131 @@
+//! Estimating how long a new document copy will survive in a cache.
+//!
+//! The utility-based placement scheme's disk-space contention component
+//! (`DsCC`) compares "the time duration for which the document can be
+//! expected to reside in the cache before it is replaced" across caches
+//! (paper §3.1). We estimate that characteristic time as an exponentially
+//! weighted moving average of recent *eviction ages* — the time evicted
+//! documents had spent resident.
+
+use cachecloud_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// EWMA over eviction ages.
+///
+/// Until the first eviction the estimator reports [`SimDuration::ZERO`] via
+/// [`ResidenceEstimator::estimate`]'s `Option`, which callers should treat
+/// as "no contention observed" (the paper's unlimited-disk experiments never
+/// evict, so `DsCC` is simply turned off there).
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_storage::ResidenceEstimator;
+/// use cachecloud_types::SimDuration;
+///
+/// let mut r = ResidenceEstimator::new(0.2);
+/// assert!(r.estimate().is_none());
+/// r.observe_eviction(SimDuration::from_secs(100));
+/// r.observe_eviction(SimDuration::from_secs(50));
+/// let est = r.estimate().unwrap();
+/// assert!(est > SimDuration::from_secs(50) && est < SimDuration::from_secs(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidenceEstimator {
+    alpha: f64,
+    ewma_secs: Option<f64>,
+    evictions: u64,
+}
+
+impl ResidenceEstimator {
+    /// Creates an estimator with smoothing factor `alpha` (weight of the
+    /// newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "smoothing factor must be in (0, 1]"
+        );
+        ResidenceEstimator {
+            alpha,
+            ewma_secs: None,
+            evictions: 0,
+        }
+    }
+
+    /// Records that an evicted document had been resident for `age`.
+    pub fn observe_eviction(&mut self, age: SimDuration) {
+        self.evictions += 1;
+        let x = age.as_secs_f64();
+        self.ewma_secs = Some(match self.ewma_secs {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        });
+    }
+
+    /// The current characteristic residence time, or `None` before any
+    /// eviction has been observed.
+    pub fn estimate(&self) -> Option<SimDuration> {
+        self.ewma_secs.map(SimDuration::from_secs_f64)
+    }
+
+    /// Total evictions observed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+impl Default for ResidenceEstimator {
+    /// A moderately smoothed estimator (`alpha = 0.2`).
+    fn default() -> Self {
+        ResidenceEstimator::new(0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unknown() {
+        let r = ResidenceEstimator::default();
+        assert!(r.estimate().is_none());
+        assert_eq!(r.evictions(), 0);
+    }
+
+    #[test]
+    fn first_observation_is_exact() {
+        let mut r = ResidenceEstimator::new(0.5);
+        r.observe_eviction(SimDuration::from_secs(40));
+        assert_eq!(r.estimate(), Some(SimDuration::from_secs(40)));
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_values() {
+        let mut r = ResidenceEstimator::new(0.5);
+        r.observe_eviction(SimDuration::from_secs(100));
+        for _ in 0..20 {
+            r.observe_eviction(SimDuration::from_secs(10));
+        }
+        let est = r.estimate().unwrap().as_secs_f64();
+        assert!((est - 10.0).abs() < 0.5, "est {est}");
+        assert_eq!(r.evictions(), 21);
+    }
+
+    #[test]
+    fn alpha_one_tracks_last_value() {
+        let mut r = ResidenceEstimator::new(1.0);
+        r.observe_eviction(SimDuration::from_secs(5));
+        r.observe_eviction(SimDuration::from_secs(99));
+        assert_eq!(r.estimate(), Some(SimDuration::from_secs(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn zero_alpha_panics() {
+        let _ = ResidenceEstimator::new(0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Byte quantities for document sizes, disk capacities and traffic volumes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative quantity of bytes.
+///
+/// Used for document sizes, cache capacities and network traffic volumes.
+/// Arithmetic is checked in debug builds (overflow panics) and subtraction
+/// saturates via [`ByteSize::saturating_sub`] where underflow is expected.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_types::ByteSize;
+///
+/// let doc = ByteSize::from_kib(8);
+/// let disk = ByteSize::from_mib(64);
+/// assert!(doc < disk);
+/// assert_eq!((doc + doc).as_bytes(), 16 * 1024);
+/// assert_eq!(doc.as_mb_f64(), 8.0 * 1024.0 / 1e6);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// An effectively unlimited capacity (used for the paper's
+    /// "unlimited disk-space" experiments).
+    pub const UNLIMITED: ByteSize = ByteSize(u64::MAX);
+
+    /// Creates a size from raw bytes.
+    pub const fn from_bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// Creates a size from binary kilobytes (1024 bytes).
+    pub const fn from_kib(k: u64) -> Self {
+        ByteSize(k * 1024)
+    }
+
+    /// Creates a size from binary megabytes.
+    pub const fn from_mib(m: u64) -> Self {
+        ByteSize(m * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size in decimal megabytes (the paper's network-load unit is
+    /// "MBs transferred per unit time").
+    pub fn as_mb_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow (relevant when accumulating
+    /// against [`ByteSize::UNLIMITED`]).
+    #[must_use]
+    pub const fn checked_add(self, rhs: ByteSize) -> Option<ByteSize> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(ByteSize(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies by a fraction, rounding down; used e.g. to configure
+    /// "disk-space = 25 % of the corpus size" (Fig 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is negative or not finite.
+    #[must_use]
+    pub fn scale(self, frac: f64) -> ByteSize {
+        assert!(frac.is_finite() && frac >= 0.0, "fraction must be non-negative");
+        ByteSize((self.0 as f64 * frac) as u64)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |acc, b| acc.saturating_add(b))
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        if self.0 == u64::MAX {
+            write!(f, "unlimited")
+        } else if self.0 >= GIB {
+            write!(f, "{:.2}GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2}KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(ByteSize::from_kib(1).as_bytes(), 1024);
+        assert_eq!(ByteSize::from_mib(1).as_bytes(), 1024 * 1024);
+        assert!(ByteSize::ZERO.is_zero());
+        assert!(!ByteSize::from_bytes(1).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::from_bytes(100);
+        let b = ByteSize::from_bytes(40);
+        assert_eq!(a + b, ByteSize::from_bytes(140));
+        assert_eq!(a - b, ByteSize::from_bytes(60));
+        assert_eq!(a * 3, ByteSize::from_bytes(300));
+        assert_eq!(b.saturating_sub(a), ByteSize::ZERO);
+        let mut c = a;
+        c += b;
+        c -= ByteSize::from_bytes(10);
+        assert_eq!(c, ByteSize::from_bytes(130));
+    }
+
+    #[test]
+    fn unlimited_saturates() {
+        let u = ByteSize::UNLIMITED;
+        assert_eq!(u.checked_add(ByteSize::from_bytes(1)), None);
+        assert_eq!(u.saturating_add(ByteSize::from_bytes(1)), u);
+    }
+
+    #[test]
+    fn scale_fraction() {
+        let corpus = ByteSize::from_bytes(1000);
+        assert_eq!(corpus.scale(0.25), ByteSize::from_bytes(250));
+        assert_eq!(corpus.scale(0.0), ByteSize::ZERO);
+        assert_eq!(corpus.scale(1.0), corpus);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be non-negative")]
+    fn scale_negative_panics() {
+        let _ = ByteSize::from_bytes(10).scale(-0.5);
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let total: ByteSize = vec![ByteSize::UNLIMITED, ByteSize::from_bytes(5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, ByteSize::UNLIMITED);
+        let small: ByteSize = (1..=4).map(ByteSize::from_bytes).sum();
+        assert_eq!(small, ByteSize::from_bytes(10));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::from_bytes(12).to_string(), "12B");
+        assert_eq!(ByteSize::from_kib(2).to_string(), "2.00KiB");
+        assert_eq!(ByteSize::from_mib(3).to_string(), "3.00MiB");
+        assert_eq!(ByteSize::UNLIMITED.to_string(), "unlimited");
+    }
+
+    #[test]
+    fn mb_conversion_is_decimal() {
+        assert_eq!(ByteSize::from_bytes(2_000_000).as_mb_f64(), 2.0);
+    }
+}

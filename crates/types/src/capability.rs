@@ -1,0 +1,105 @@
+//! Beacon-point capability values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The relative "power" of the machine hosting a beacon point.
+///
+/// The paper deliberately abstracts capability as "a positive real value"
+/// (CPU capacity, network bandwidth, or any composite). The dynamic-hashing
+/// sub-range determination gives each beacon point a fair share of the ring's
+/// load *proportional to its capability*.
+///
+/// Invariant: strictly positive and finite, enforced at construction.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_types::Capability;
+///
+/// let weak = Capability::new(0.5).unwrap();
+/// let strong = Capability::new(2.0).unwrap();
+/// assert!(strong.value() > weak.value());
+/// assert_eq!(Capability::default().value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Capability(f64);
+
+impl Capability {
+    /// The unit capability — a homogeneous cloud (all the paper's
+    /// experiments use this).
+    pub const UNIT: Capability = Capability(1.0);
+
+    /// Creates a capability, validating that it is positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `value` is not a finite, strictly positive number.
+    pub fn new(value: f64) -> Option<Self> {
+        (value.is_finite() && value > 0.0).then_some(Capability(value))
+    }
+
+    /// The raw capability value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Capability {
+    fn default() -> Self {
+        Capability::UNIT
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cp={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Capability {
+    type Error = crate::error::CacheCloudError;
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        Capability::new(v).ok_or(crate::error::CacheCloudError::InvalidCapability(v))
+    }
+}
+
+impl From<Capability> for f64 {
+    fn from(c: Capability) -> f64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_capabilities() {
+        assert!(Capability::new(1.0).is_some());
+        assert!(Capability::new(0.001).is_some());
+        assert!(Capability::new(1e9).is_some());
+    }
+
+    #[test]
+    fn invalid_capabilities() {
+        assert!(Capability::new(0.0).is_none());
+        assert!(Capability::new(-1.0).is_none());
+        assert!(Capability::new(f64::NAN).is_none());
+        assert!(Capability::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(Capability::default(), Capability::UNIT);
+        assert_eq!(Capability::UNIT.value(), 1.0);
+    }
+
+    #[test]
+    fn try_from_reports_error() {
+        assert!(Capability::try_from(2.0).is_ok());
+        assert!(Capability::try_from(-2.0).is_err());
+    }
+}

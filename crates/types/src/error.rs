@@ -1,0 +1,150 @@
+//! The shared error type for the cache-clouds crates.
+
+use std::fmt;
+
+use crate::ids::{CacheId, CloudId, DocId, RingId};
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CacheCloudError>;
+
+/// Errors surfaced by the cache-clouds crates.
+///
+/// Lower-level crates (storage, hashing, placement) report through this
+/// shared enum so that the simulation driver and the live cluster can handle
+/// every failure uniformly.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CacheCloudError {
+    /// A capability value was zero, negative or non-finite.
+    InvalidCapability(f64),
+    /// A configuration value was out of its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Referenced a cache that does not exist in the cloud.
+    UnknownCache(CacheId),
+    /// Referenced a cloud that does not exist in the network.
+    UnknownCloud(CloudId),
+    /// Referenced a beacon ring that does not exist in the cloud.
+    UnknownRing(RingId),
+    /// A document was not found where the protocol expected it.
+    DocumentNotFound(DocId),
+    /// A document is larger than the cache's total capacity.
+    DocumentTooLarge {
+        /// The rejected document.
+        doc: DocId,
+        /// The document's size in bytes.
+        size: u64,
+        /// The store's total capacity in bytes.
+        capacity: u64,
+    },
+    /// The beacon point addressed is not responsible for the document's
+    /// intra-ring hash value (stale sub-range view).
+    WrongBeacon {
+        /// The document whose beacon was looked up.
+        doc: DocId,
+        /// The beacon that was (wrongly) contacted.
+        contacted: CacheId,
+    },
+    /// A wire-protocol frame could not be decoded (live cluster).
+    Protocol(String),
+    /// An I/O error, stringified to keep the error `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for CacheCloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheCloudError::InvalidCapability(v) => {
+                write!(f, "capability must be a positive finite number, got {v}")
+            }
+            CacheCloudError::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration for `{param}`: {reason}")
+            }
+            CacheCloudError::UnknownCache(id) => write!(f, "unknown cache {id}"),
+            CacheCloudError::UnknownCloud(id) => write!(f, "unknown cloud {id}"),
+            CacheCloudError::UnknownRing(id) => write!(f, "unknown beacon ring {id}"),
+            CacheCloudError::DocumentNotFound(doc) => {
+                write!(f, "document not found: {doc}")
+            }
+            CacheCloudError::DocumentTooLarge {
+                doc,
+                size,
+                capacity,
+            } => write!(
+                f,
+                "document {doc} ({size} bytes) exceeds cache capacity ({capacity} bytes)"
+            ),
+            CacheCloudError::WrongBeacon { doc, contacted } => write!(
+                f,
+                "cache {contacted} is not the beacon point for {doc} (stale sub-range view)"
+            ),
+            CacheCloudError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CacheCloudError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheCloudError {}
+
+impl From<std::io::Error> for CacheCloudError {
+    fn from(e: std::io::Error) -> Self {
+        CacheCloudError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<CacheCloudError> = vec![
+            CacheCloudError::InvalidCapability(-1.0),
+            CacheCloudError::InvalidConfig {
+                param: "beacon_ring_size",
+                reason: "must be at least 1".into(),
+            },
+            CacheCloudError::UnknownCache(CacheId(3)),
+            CacheCloudError::UnknownCloud(CloudId(1)),
+            CacheCloudError::UnknownRing(RingId(2)),
+            CacheCloudError::DocumentNotFound(DocId::from_url("/a")),
+            CacheCloudError::DocumentTooLarge {
+                doc: DocId::from_url("/big"),
+                size: 100,
+                capacity: 10,
+            },
+            CacheCloudError::WrongBeacon {
+                doc: DocId::from_url("/w"),
+                contacted: CacheId(0),
+            },
+            CacheCloudError::Protocol("bad magic".into()),
+            CacheCloudError::Io("connection reset".into()),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CacheCloudError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: CacheCloudError = io.into();
+        assert!(matches!(e, CacheCloudError::Io(_)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Newtype identifiers for documents, caches, clouds and beacon rings.
+//!
+//! Using distinct types for each identifier keeps the protocols honest: a
+//! beacon-ring index can never be confused with a cache index, and a document
+//! is always addressed by its URL-derived [`DocId`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::md5;
+
+/// Identifier of a document (a dynamic web page) — its URL plus the cached
+/// MD5 digest of that URL.
+///
+/// Equality, ordering and hashing are by URL. The digest is computed once at
+/// construction and reused by every hash reduction, mirroring how an edge
+/// cache would memoize the digest in its metadata record. Clones are cheap
+/// (the URL is reference-counted), which matters because the simulator clones
+/// document identifiers on every request event.
+///
+/// Serialized as a bare URL string.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_types::DocId;
+///
+/// let d = DocId::from_url("/scores/final.html");
+/// assert_eq!(d.url(), "/scores/final.html");
+/// assert!(d.hash_mod(10) < 10);
+/// // Deterministic: the same URL always reduces identically.
+/// assert_eq!(d.hash_mod(977), DocId::from_url("/scores/final.html").hash_mod(977));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "String", into = "String")]
+pub struct DocId {
+    url: Arc<str>,
+    digest: u64,
+}
+
+impl DocId {
+    /// Creates a document identifier from a URL.
+    pub fn from_url(url: impl AsRef<str>) -> Self {
+        let url: Arc<str> = Arc::from(url.as_ref());
+        let digest = md5::digest_u64(&md5::md5(url.as_bytes()));
+        DocId { url, digest }
+    }
+
+    /// The document's URL.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The memoized 64-bit MD5-derived value of the URL.
+    pub fn hash_u64(&self) -> u64 {
+        self.digest
+    }
+
+    /// `md5(url) mod modulus` — the reduction used to pick beacon rings and
+    /// intra-ring hash values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn hash_mod(&self, modulus: u64) -> u64 {
+        assert!(modulus > 0, "modulus must be positive");
+        self.hash_u64() % modulus
+    }
+}
+
+impl PartialEq for DocId {
+    fn eq(&self, other: &Self) -> bool {
+        self.url == other.url
+    }
+}
+impl Eq for DocId {}
+impl PartialOrd for DocId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DocId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.url.cmp(&other.url)
+    }
+}
+impl std::hash::Hash for DocId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.url.hash(state);
+    }
+}
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.url)
+    }
+}
+impl From<String> for DocId {
+    fn from(url: String) -> Self {
+        DocId::from_url(url)
+    }
+}
+impl From<&str> for DocId {
+    fn from(url: &str) -> Self {
+        DocId::from_url(url)
+    }
+}
+impl From<DocId> for String {
+    fn from(id: DocId) -> Self {
+        id.url.as_ref().to_owned()
+    }
+}
+
+macro_rules! index_id {
+    ($(#[$meta:meta])* $name:ident, $label:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index value.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name(i)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// Index of an edge cache within the whole edge network.
+    ///
+    /// ```
+    /// use cachecloud_types::CacheId;
+    /// assert_eq!(CacheId(3).to_string(), "cache-3");
+    /// ```
+    CacheId,
+    "cache-"
+);
+index_id!(
+    /// Index of a cache cloud within the edge network.
+    ///
+    /// ```
+    /// use cachecloud_types::CloudId;
+    /// assert_eq!(CloudId(0).to_string(), "cloud-0");
+    /// ```
+    CloudId,
+    "cloud-"
+);
+index_id!(
+    /// Index of a beacon ring within a cache cloud.
+    ///
+    /// ```
+    /// use cachecloud_types::RingId;
+    /// assert_eq!(RingId(2).to_string(), "ring-2");
+    /// ```
+    RingId,
+    "ring-"
+);
+
+/// Monotonically increasing version number of a dynamic document.
+///
+/// Every origin-side update bumps the version; caches compare versions to
+/// detect staleness.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_types::Version;
+///
+/// let v = Version::INITIAL;
+/// assert!(v.next() > v);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version a document has when first published.
+    pub const INITIAL: Version = Version(0);
+
+    /// The version after one more update.
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn doc_id_equality_is_by_url() {
+        let a = DocId::from_url("/a");
+        let b = DocId::from_url(String::from("/a"));
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn doc_id_hash_is_stable_and_memoized() {
+        let d = DocId::from_url("/x/y/z");
+        let h1 = d.hash_u64();
+        let h2 = d.hash_u64();
+        assert_eq!(h1, h2);
+        assert_eq!(h1, DocId::from_url("/x/y/z").hash_u64());
+    }
+
+    #[test]
+    fn doc_id_different_urls_differ() {
+        // Not guaranteed in general, but astronomically likely; acts as a
+        // smoke test that we hash the URL and not e.g. the pointer.
+        assert_ne!(
+            DocId::from_url("/a").hash_u64(),
+            DocId::from_url("/b").hash_u64()
+        );
+    }
+
+    #[test]
+    fn doc_id_ordering_is_lexicographic() {
+        let mut v = [DocId::from_url("/b"), DocId::from_url("/a")];
+        v.sort();
+        assert_eq!(v[0].url(), "/a");
+    }
+
+    #[test]
+    fn doc_id_string_roundtrip() {
+        let d = DocId::from_url("/serde");
+        let s: String = d.clone().into();
+        let back = DocId::from(s);
+        assert_eq!(back, d);
+        assert_eq!(back.hash_u64(), d.hash_u64());
+    }
+
+    #[test]
+    fn doc_id_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DocId>();
+    }
+
+    #[test]
+    fn index_ids_display_and_convert() {
+        assert_eq!(CacheId::from(7).index(), 7);
+        assert_eq!(CloudId(1).to_string(), "cloud-1");
+        assert_eq!(RingId(9).to_string(), "ring-9");
+        assert!(CacheId(1) < CacheId(2));
+    }
+
+    #[test]
+    fn version_progression() {
+        let v0 = Version::INITIAL;
+        let v1 = v0.next();
+        let v2 = v1.next();
+        assert!(v0 < v1 && v1 < v2);
+        assert_eq!(v2, Version(2));
+        assert_eq!(v2.to_string(), "v2");
+    }
+}

@@ -1,0 +1,300 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The paper's evaluation reports everything "per unit time", where one unit
+//! is one minute of the trace. We represent virtual time as integer
+//! microseconds since simulation start, which gives exact arithmetic (no
+//! float drift in the event queue) while still resolving sub-millisecond
+//! network latencies.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time, in integer microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_types::SimDuration;
+///
+/// let d = SimDuration::from_minutes(2) + SimDuration::from_secs(30);
+/// assert_eq!(d.as_secs_f64(), 150.0);
+/// assert_eq!(d * 2, SimDuration::from_minutes(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from minutes (the paper's "unit time").
+    pub const fn from_minutes(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+
+    /// Creates a duration from hours (the sub-range determination cycle in
+    /// the paper's experiments is one hour).
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// The duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration in fractional minutes.
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us == 0 {
+            write!(f, "0s")
+        } else if us.is_multiple_of(60_000_000) {
+            write!(f, "{}m", us / 60_000_000)
+        } else if us.is_multiple_of(1_000_000) {
+            write!(f, "{}s", us / 1_000_000)
+        } else if us.is_multiple_of(1_000) {
+            write!(f, "{}ms", us / 1_000)
+        } else {
+            write!(f, "{us}us")
+        }
+    }
+}
+
+/// An instant of virtual time: microseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_types::{SimTime, SimDuration};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_secs(90);
+/// assert_eq!(t1 - t0, SimDuration::from_secs(90));
+/// assert!(t1 > t0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from microseconds since start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional minutes since simulation start (the paper's unit time).
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// The elapsed duration since `earlier`, or zero if `earlier` is later.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_micros())
+    }
+}
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_micros();
+    }
+}
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.as_micros())
+    }
+}
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration::from_micros(self.0 - rhs.0)
+    }
+}
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.as_micros();
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(60), SimDuration::from_minutes(1));
+        assert_eq!(SimDuration::from_minutes(60), SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_millis(1000), SimDuration::from_secs(1));
+        assert_eq!(SimDuration::from_micros(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn duration_float_conversions() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_micros(), 1_500_000);
+        assert_eq!(d.as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(10);
+        let b = SimDuration::from_secs(4);
+        assert_eq!(a - b, SimDuration::from_secs(6));
+        assert_eq!(a * 3, SimDuration::from_secs(30));
+        assert_eq!(a / 2, SimDuration::from_secs(5));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimDuration::from_secs(14));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_minutes(3);
+        assert_eq!(t.as_minutes_f64(), 3.0);
+        assert_eq!(t - SimTime::ZERO, SimDuration::from_minutes(3));
+        assert_eq!(
+            (t - SimDuration::from_minutes(1)).as_minutes_f64(),
+            2.0
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_since(t),
+            SimDuration::ZERO
+        );
+        let mut u = t;
+        u += SimDuration::from_minutes(1);
+        u -= SimDuration::from_minutes(2);
+        assert_eq!(u.as_minutes_f64(), 2.0);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+        assert_eq!(SimDuration::from_minutes(2).to_string(), "2m");
+        assert_eq!(SimDuration::from_secs(90).to_string(), "90s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250ms");
+        assert_eq!(SimDuration::from_micros(17).to_string(), "17us");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_secs(5)).to_string(),
+            "t+5s"
+        );
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let t1 = SimTime::from_micros(10);
+        let t2 = SimTime::from_micros(20);
+        assert!(t1 < t2);
+        assert_eq!(t1.max(t2), t2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Generate and inspect cache-cloud traces.
+//!
+//! ```text
+//! tracegen zipf   [--docs N] [--theta T] [--caches N] [--minutes M]
+//!                 [--req-rate R] [--upd-rate U] [--seed S] --out FILE
+//! tracegen sydney [--docs N] [--caches N] [--minutes M]
+//!                 [--req-rate R] [--upd-rate U] [--seed S] --out FILE
+//! tracegen stats  FILE
+//! ```
+//!
+//! Traces are written as JSONL (one header line, one line per event) and
+//! can be replayed with `cache_clouds::EdgeNetworkSim` after
+//! `Trace::read_jsonl`.
+
+use std::collections::HashMap;
+
+use cachecloud_workload::{SydneyTraceBuilder, Trace, TraceStats, ZipfTraceBuilder};
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --{name}")),
+    }
+}
+
+fn generate(kind: &str, args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| "--out FILE is required".to_string())?;
+    let trace = match kind {
+        "zipf" => ZipfTraceBuilder::new()
+            .documents(get(&flags, "docs", 25_000usize)?)
+            .theta(get(&flags, "theta", 0.9f64)?)
+            .caches(get(&flags, "caches", 10usize)?)
+            .duration_minutes(get(&flags, "minutes", 1440u64)?)
+            .requests_per_cache_per_minute(get(&flags, "req-rate", 120.0f64)?)
+            .updates_per_minute(get(&flags, "upd-rate", 195.0f64)?)
+            .seed(get(&flags, "seed", 0u64)?)
+            .build(),
+        "sydney" => SydneyTraceBuilder::new()
+            .documents(get(&flags, "docs", 52_367usize)?)
+            .caches(get(&flags, "caches", 10usize)?)
+            .duration_minutes(get(&flags, "minutes", 1440u64)?)
+            .requests_per_cache_per_minute(get(&flags, "req-rate", 120.0f64)?)
+            .updates_per_minute(get(&flags, "upd-rate", 195.0f64)?)
+            .seed(get(&flags, "seed", 0u64)?)
+            .build(),
+        other => return Err(format!("unknown generator `{other}` (zipf|sydney)")),
+    };
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    trace
+        .write_jsonl(std::io::BufWriter::new(file))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} documents, {} requests, {} updates over {} minutes",
+        trace.catalog().len(),
+        trace.request_count(),
+        trace.update_count(),
+        trace.duration().as_minutes_f64()
+    );
+    Ok(())
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let trace = Trace::read_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let st = TraceStats::compute(&trace);
+    println!("trace: {path}");
+    println!("  documents           {}", st.documents);
+    println!("  caches              {}", trace.num_caches());
+    println!("  minutes             {}", trace.duration().as_minutes_f64());
+    println!("  requests            {} ({:.1}/min)", st.requests, st.requests_per_minute);
+    println!("  updates             {} ({:.1}/min)", st.updates, st.updates_per_minute);
+    println!("  distinct requested  {}", st.distinct_requested);
+    println!("  distinct updated    {}", st.distinct_updated);
+    println!(
+        "  top-1 request share {:.2}% | top-1% share {:.1}%",
+        st.top1_request_share * 100.0,
+        st.top1pct_request_share * 100.0
+    );
+    println!(
+        "  corpus size         {}",
+        trace.catalog().total_size()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("zipf") => generate("zipf", &args[1..]),
+        Some("sydney") => generate("sydney", &args[1..]),
+        Some("stats") => match args.get(1) {
+            Some(path) => stats(path),
+            None => Err("stats requires a FILE argument".into()),
+        },
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "usage:\n  tracegen zipf   [--docs N --theta T --caches N --minutes M \
+                 --req-rate R --upd-rate U --seed S] --out FILE\n  tracegen sydney \
+                 [--docs N --caches N --minutes M --req-rate R --upd-rate U --seed S] \
+                 --out FILE\n  tracegen stats FILE"
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (zipf|sydney|stats)")),
+    };
+    if let Err(msg) = result {
+        eprintln!("tracegen: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Workload synthesis and trace handling for the cache-clouds reproduction.
+//!
+//! The paper evaluates with two datasets:
+//!
+//! * **Zipf-0.9** — a synthetic dataset where both document accesses and
+//!   invalidations follow a Zipf distribution with parameter 0.9
+//!   ([`zipf_dataset::ZipfTraceBuilder`]);
+//! * **Sydney** — a real 24-hour trace from the IBM 2000 Sydney Olympics web
+//!   site. That trace is proprietary, so [`sydney::SydneyTraceBuilder`]
+//!   synthesizes a stand-in with the published characteristics: ~52 k unique
+//!   documents, 24 h span, diurnal request intensity with event-driven
+//!   flash crowds, correlated update bursts, and an observed aggregate
+//!   update rate of ≈195 updates per minute (the dashed vertical line in the
+//!   paper's Figures 7–9).
+//!
+//! Both builders produce a [`trace::Trace`]: a document catalog plus a
+//! time-ordered stream of per-cache request events and origin-side update
+//! events, which the simulator consumes directly and which round-trips
+//! through JSONL ([`trace::Trace::write_jsonl`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_workload::zipf_dataset::ZipfTraceBuilder;
+//!
+//! let trace = ZipfTraceBuilder::new()
+//!     .documents(500)
+//!     .theta(0.9)
+//!     .caches(4)
+//!     .duration_minutes(10)
+//!     .requests_per_cache_per_minute(50.0)
+//!     .updates_per_minute(20.0)
+//!     .seed(1)
+//!     .build();
+//! assert_eq!(trace.catalog().len(), 500);
+//! assert!(trace.events().len() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod sydney;
+pub mod trace;
+pub mod zipf;
+pub mod zipf_dataset;
+
+pub use stats::TraceStats;
+pub use sydney::SydneyTraceBuilder;
+pub use trace::{Catalog, DocumentSpec, Trace, TraceEvent, TraceEventKind};
+pub use zipf::ZipfSampler;
+pub use zipf_dataset::ZipfTraceBuilder;

@@ -1,0 +1,164 @@
+//! Descriptive statistics of a trace, for validation and the harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{Trace, TraceEventKind};
+
+/// Summary statistics of a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_workload::{TraceStats, ZipfTraceBuilder};
+///
+/// let tr = ZipfTraceBuilder::new()
+///     .documents(100)
+///     .caches(2)
+///     .duration_minutes(5)
+///     .requests_per_cache_per_minute(40.0)
+///     .updates_per_minute(10.0)
+///     .seed(2)
+///     .build();
+/// let st = TraceStats::compute(&tr);
+/// assert_eq!(st.documents, 100);
+/// assert!(st.requests > 0 && st.updates > 0);
+/// assert!(st.top1_request_share > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Catalog size.
+    pub documents: usize,
+    /// Total request events.
+    pub requests: usize,
+    /// Total update events.
+    pub updates: usize,
+    /// Distinct documents that received at least one request.
+    pub distinct_requested: usize,
+    /// Distinct documents that received at least one update.
+    pub distinct_updated: usize,
+    /// Share of requests going to the single hottest document.
+    pub top1_request_share: f64,
+    /// Share of requests going to the hottest 1 % of documents.
+    pub top1pct_request_share: f64,
+    /// Mean requests per minute (over the nominal duration).
+    pub requests_per_minute: f64,
+    /// Mean updates per minute (over the nominal duration).
+    pub updates_per_minute: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let n = trace.catalog().len();
+        let mut req_counts = vec![0u64; n];
+        let mut upd_counts = vec![0u64; n];
+        for e in trace.events() {
+            match e.kind {
+                TraceEventKind::Request { .. } => req_counts[e.doc as usize] += 1,
+                TraceEventKind::Update => upd_counts[e.doc as usize] += 1,
+            }
+        }
+        let requests: u64 = req_counts.iter().sum();
+        let updates: u64 = upd_counts.iter().sum();
+        let mut sorted = req_counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top1 = sorted.first().copied().unwrap_or(0);
+        let top1pct_n = (n / 100).max(1);
+        let top1pct: u64 = sorted.iter().take(top1pct_n).sum();
+        let minutes = trace.duration().as_minutes_f64().max(f64::MIN_POSITIVE);
+        TraceStats {
+            documents: n,
+            requests: requests as usize,
+            updates: updates as usize,
+            distinct_requested: req_counts.iter().filter(|&&c| c > 0).count(),
+            distinct_updated: upd_counts.iter().filter(|&&c| c > 0).count(),
+            top1_request_share: if requests == 0 {
+                0.0
+            } else {
+                top1 as f64 / requests as f64
+            },
+            top1pct_request_share: if requests == 0 {
+                0.0
+            } else {
+                top1pct as f64 / requests as f64
+            },
+            requests_per_minute: requests as f64 / minutes,
+            updates_per_minute: updates as f64 / minutes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Catalog, DocumentSpec, TraceEvent};
+    use cachecloud_types::{ByteSize, CacheId, DocId, SimDuration, SimTime};
+
+    fn doc(url: &str) -> DocumentSpec {
+        DocumentSpec {
+            id: DocId::from_url(url),
+            size: ByteSize::from_bytes(100),
+        }
+    }
+
+    #[test]
+    fn manual_trace_statistics() {
+        let catalog = Catalog::new(vec![doc("/a"), doc("/b"), doc("/c")]);
+        let t = SimTime::ZERO;
+        let req = |d: u32| TraceEvent {
+            at: t,
+            doc: d,
+            kind: TraceEventKind::Request { cache: CacheId(0) },
+        };
+        let upd = |d: u32| TraceEvent {
+            at: t,
+            doc: d,
+            kind: TraceEventKind::Update,
+        };
+        let tr = Trace::new(
+            catalog,
+            vec![req(0), req(0), req(1), upd(2), upd(2)],
+            SimDuration::from_minutes(5),
+            1,
+        );
+        let st = TraceStats::compute(&tr);
+        assert_eq!(st.requests, 3);
+        assert_eq!(st.updates, 2);
+        assert_eq!(st.distinct_requested, 2);
+        assert_eq!(st.distinct_updated, 1);
+        assert!((st.top1_request_share - 2.0 / 3.0).abs() < 1e-12);
+        assert!((st.requests_per_minute - 0.6).abs() < 1e-12);
+        assert!((st.updates_per_minute - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_shares() {
+        let tr = Trace::new(
+            Catalog::new(vec![doc("/a")]),
+            vec![],
+            SimDuration::from_minutes(1),
+            1,
+        );
+        let st = TraceStats::compute(&tr);
+        assert_eq!(st.top1_request_share, 0.0);
+        assert_eq!(st.requests, 0);
+    }
+
+    #[test]
+    fn higher_theta_more_concentrated() {
+        let build = |theta: f64| {
+            crate::ZipfTraceBuilder::new()
+                .documents(1000)
+                .caches(2)
+                .duration_minutes(20)
+                .requests_per_cache_per_minute(100.0)
+                .updates_per_minute(1.0)
+                .theta(theta)
+                .seed(4)
+                .build()
+        };
+        let low = TraceStats::compute(&build(0.2));
+        let high = TraceStats::compute(&build(0.99));
+        assert!(high.top1pct_request_share > low.top1pct_request_share);
+    }
+}

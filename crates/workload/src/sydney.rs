@@ -1,0 +1,440 @@
+//! Synthesizer for a stand-in of the paper's "Sydney" trace.
+//!
+//! The paper's second dataset is a real 24-hour access/update trace captured
+//! from the IBM-hosted 2000 Sydney Olympic Games web site, with 52 367 unique
+//! documents. That trace is proprietary, so this module synthesizes a
+//! workload with the characteristics the paper reports or implies:
+//!
+//! * 24-hour span at minute resolution, ~52 k unique documents;
+//! * strong but *milder-than-Zipf-0.9* popularity skew (the paper's Fig 4
+//!   shows less beacon-load imbalance on Sydney than on Zipf-0.9);
+//! * diurnal request intensity plus **event-driven flash crowds** (medal
+//!   finals): short windows where a small set of documents becomes
+//!   disproportionately hot;
+//! * correlated update activity: scoreboard-like documents are updated in
+//!   bursts during events, with an observed aggregate update rate of about
+//!   195 updates/minute (the dashed vertical line in Figs 7–9);
+//! * a small set of **front pages** (home page, schedules, medal tally)
+//!   that stay hot and hot-updated all day — the persistent skew a
+//!   sporting-event site exhibits and the load-balancing experiments feed
+//!   on.
+
+use cachecloud_sim::SimRng;
+use cachecloud_types::{CacheId, SimDuration, SimTime};
+
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use crate::zipf::ZipfSampler;
+use crate::zipf_dataset::{build_catalog, poisson_count};
+
+/// One sporting-event window inside the synthesized day.
+#[derive(Debug, Clone)]
+struct EventWindow {
+    /// First minute of the window.
+    start_min: u64,
+    /// Length in minutes.
+    len_min: u64,
+    /// Multiplier on the global request intensity while active.
+    boost: f64,
+    /// Catalog indices of the documents this event makes hot.
+    docs: Vec<u32>,
+}
+
+impl EventWindow {
+    fn contains(&self, minute: u64) -> bool {
+        minute >= self.start_min && minute < self.start_min + self.len_min
+    }
+}
+
+/// Builds the synthetic Sydney-like 24 h trace.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_workload::SydneyTraceBuilder;
+///
+/// // A scaled-down build for quick runs.
+/// let trace = SydneyTraceBuilder::new()
+///     .documents(2_000)
+///     .caches(4)
+///     .duration_minutes(120)
+///     .requests_per_cache_per_minute(40.0)
+///     .updates_per_minute(30.0)
+///     .seed(7)
+///     .build();
+/// assert_eq!(trace.catalog().len(), 2_000);
+/// let rate = trace.observed_update_rate_per_minute();
+/// assert!((rate - 30.0).abs() < 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SydneyTraceBuilder {
+    documents: usize,
+    caches: usize,
+    duration_minutes: u64,
+    requests_per_cache_per_minute: f64,
+    updates_per_minute: f64,
+    events_per_day: usize,
+    base_theta: f64,
+    front_pages: usize,
+    front_share: f64,
+    seed: u64,
+}
+
+impl Default for SydneyTraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SydneyTraceBuilder {
+    /// Creates a builder with the published characteristics: 52 367
+    /// documents, 24 hours, 10 caches, ~195 updates/minute.
+    pub fn new() -> Self {
+        SydneyTraceBuilder {
+            documents: 52_367,
+            caches: 10,
+            duration_minutes: 24 * 60,
+            requests_per_cache_per_minute: 120.0,
+            updates_per_minute: 195.0,
+            events_per_day: 12,
+            base_theta: 0.7,
+            front_pages: 200,
+            front_share: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// Number of unique documents (paper: 52 367).
+    pub fn documents(mut self, n: usize) -> Self {
+        self.documents = n;
+        self
+    }
+
+    /// Number of edge caches receiving requests.
+    pub fn caches(mut self, n: usize) -> Self {
+        self.caches = n;
+        self
+    }
+
+    /// Trace length in minutes (paper: 1440).
+    pub fn duration_minutes(mut self, m: u64) -> Self {
+        self.duration_minutes = m;
+        self
+    }
+
+    /// Mean request rate per cache per minute (before diurnal and event
+    /// modulation).
+    pub fn requests_per_cache_per_minute(mut self, r: f64) -> Self {
+        self.requests_per_cache_per_minute = r;
+        self
+    }
+
+    /// Target mean update rate per minute (paper's observed rate: ≈195).
+    pub fn updates_per_minute(mut self, r: f64) -> Self {
+        self.updates_per_minute = r;
+        self
+    }
+
+    /// Number of flash-crowd event windows in the day.
+    pub fn events_per_day(mut self, n: usize) -> Self {
+        self.events_per_day = n;
+        self
+    }
+
+    /// Baseline Zipf skew of the non-event traffic. The default 0.7 yields
+    /// the milder-than-Zipf-0.9 imbalance the paper observes on Sydney.
+    pub fn base_theta(mut self, theta: f64) -> Self {
+        self.base_theta = theta;
+        self
+    }
+
+    /// Number of persistent front-page documents (home page, schedules,
+    /// medal tally) that stay hot all day.
+    pub fn front_pages(mut self, n: usize) -> Self {
+        self.front_pages = n;
+        self
+    }
+
+    /// Share of request traffic going to the front pages.
+    pub fn front_share(mut self, share: f64) -> Self {
+        self.front_share = share;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `documents == 0` or `caches == 0`.
+    pub fn build(&self) -> Trace {
+        assert!(self.documents > 0, "need at least one document");
+        assert!(self.caches > 0, "need at least one cache");
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0x5D0_2000);
+        let catalog = build_catalog(
+            self.documents,
+            "/sydney/doc-",
+            8.4,
+            1.1,
+            &mut rng,
+        );
+
+        let events_windows = self.make_event_windows(&mut rng);
+        let global = ZipfSampler::new(self.documents, self.base_theta);
+        // Scoreboard-like documents: the head of the popularity order.
+        let hot_pool = (self.documents / 20).clamp(1, 4000);
+        let hot = ZipfSampler::new(hot_pool, 0.9);
+        // Persistent front pages: the very head of the catalog.
+        let front = ZipfSampler::new(self.front_pages.clamp(1, self.documents), 0.6);
+
+        let mut events = Vec::new();
+        self.generate_requests(&mut rng, &events_windows, &global, &front, &mut events);
+        self.generate_updates(&mut rng, &events_windows, &hot, &global, &front, &mut events);
+
+        Trace::new(
+            catalog,
+            events,
+            SimDuration::from_minutes(self.duration_minutes),
+            self.caches,
+        )
+    }
+
+    fn make_event_windows(&self, rng: &mut SimRng) -> Vec<EventWindow> {
+        let hot_pool = (self.documents / 20).clamp(1, 4000) as u32;
+        (0..self.events_per_day)
+            .map(|_| {
+                let len_min = rng.range_u64(20, 80.min(self.duration_minutes.max(21)));
+                let start_min =
+                    rng.range_u64(0, self.duration_minutes.saturating_sub(len_min).max(1));
+                let n_docs = rng.next_usize(100) + 50;
+                let docs = (0..n_docs)
+                    .map(|_| rng.range_u64(0, hot_pool as u64) as u32)
+                    .collect();
+                EventWindow {
+                    start_min,
+                    len_min,
+                    boost: 1.5 + rng.next_f64() * 3.5,
+                    docs,
+                }
+            })
+            .collect()
+    }
+
+    /// Smooth diurnal intensity in [0.4, 1.0]: quiet small hours, busy
+    /// daytime peak.
+    fn diurnal(&self, minute: u64) -> f64 {
+        let frac = minute as f64 / self.duration_minutes.max(1) as f64;
+        0.7 + 0.3 * (std::f64::consts::TAU * (frac - 0.25)).sin()
+    }
+
+    fn generate_requests(
+        &self,
+        rng: &mut SimRng,
+        windows: &[EventWindow],
+        global: &ZipfSampler,
+        front: &ZipfSampler,
+        out: &mut Vec<TraceEvent>,
+    ) {
+        for minute in 0..self.duration_minutes {
+            let mut intensity = self.diurnal(minute);
+            let active: Vec<&EventWindow> =
+                windows.iter().filter(|w| w.contains(minute)).collect();
+            for w in &active {
+                // Events add traffic on top of the baseline.
+                intensity *= 1.0 + (w.boost - 1.0) * 0.3;
+            }
+            let mean = self.requests_per_cache_per_minute * self.caches as f64 * intensity;
+            let n = poisson_count(rng, mean);
+            for _ in 0..n {
+                let at = SimTime::from_micros(
+                    minute * 60_000_000 + rng.range_u64(0, 60_000_000),
+                );
+                // Front pages stay hot all day; during events a share of
+                // the remaining traffic goes to the event's documents.
+                let doc = if rng.chance(self.front_share) {
+                    front.sample(rng) as u32
+                } else if !active.is_empty() && rng.chance(0.35) {
+                    let w = active[rng.next_usize(active.len())];
+                    w.docs[rng.next_usize(w.docs.len())]
+                } else {
+                    global.sample(rng) as u32
+                };
+                let cache = CacheId(rng.next_usize(self.caches));
+                out.push(TraceEvent {
+                    at,
+                    doc,
+                    kind: TraceEventKind::Request { cache },
+                });
+            }
+        }
+    }
+
+    fn generate_updates(
+        &self,
+        rng: &mut SimRng,
+        windows: &[EventWindow],
+        hot: &ZipfSampler,
+        global: &ZipfSampler,
+        front: &ZipfSampler,
+        out: &mut Vec<TraceEvent>,
+    ) {
+        // Pre-compute per-minute weights, then scale them so the mean rate
+        // hits the configured target exactly in expectation.
+        let weights: Vec<f64> = (0..self.duration_minutes)
+            .map(|minute| {
+                let mut w = 0.8 + 0.4 * self.diurnal(minute);
+                for win in windows.iter().filter(|w| w.contains(minute)) {
+                    w *= 1.0 + (win.boost - 1.0) * 0.5;
+                }
+                w
+            })
+            .collect();
+        let mean_w: f64 = weights.iter().sum::<f64>() / weights.len().max(1) as f64;
+        let scale = if mean_w > 0.0 {
+            self.updates_per_minute / mean_w
+        } else {
+            0.0
+        };
+
+        for minute in 0..self.duration_minutes {
+            let n = poisson_count(rng, weights[minute as usize] * scale);
+            let active: Vec<&EventWindow> =
+                windows.iter().filter(|w| w.contains(minute)).collect();
+            for _ in 0..n {
+                let at = SimTime::from_micros(
+                    minute * 60_000_000 + rng.range_u64(0, 60_000_000),
+                );
+                // Updates concentrate on the ever-changing front pages
+                // (medal tally), scoreboard-like hot documents, and during
+                // events on the event documents themselves.
+                let doc = if rng.chance(0.25) {
+                    front.sample(rng) as u32
+                } else if !active.is_empty() && rng.chance(0.4) {
+                    let w = active[rng.next_usize(active.len())];
+                    w.docs[rng.next_usize(w.docs.len())]
+                } else if rng.chance(0.6) {
+                    hot.sample(rng) as u32
+                } else {
+                    global.sample(rng) as u32
+                };
+                out.push(TraceEvent {
+                    at,
+                    doc,
+                    kind: TraceEventKind::Update,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SydneyTraceBuilder {
+        SydneyTraceBuilder::new()
+            .documents(1_500)
+            .caches(4)
+            .duration_minutes(180)
+            .requests_per_cache_per_minute(30.0)
+            .updates_per_minute(25.0)
+            .seed(11)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(small().build(), small().build());
+    }
+
+    #[test]
+    fn update_rate_hits_target() {
+        let tr = small().build();
+        let rate = tr.observed_update_rate_per_minute();
+        assert!((rate - 25.0).abs() < 4.0, "rate {rate}");
+    }
+
+    #[test]
+    fn default_has_paper_document_count() {
+        assert_eq!(SydneyTraceBuilder::new().documents, 52_367);
+        assert_eq!(SydneyTraceBuilder::new().duration_minutes, 1440);
+    }
+
+    #[test]
+    fn traffic_is_time_varying() {
+        let tr = small().build();
+        // Compare request counts in 30-minute halves of the busiest vs
+        // quietest periods: diurnal + event modulation must show through.
+        let mut per_bin = vec![0u64; 6];
+        for e in tr.events() {
+            if matches!(e.kind, TraceEventKind::Request { .. }) {
+                let bin = (e.at.as_minutes_f64() / 30.0) as usize;
+                per_bin[bin.min(5)] += 1;
+            }
+        }
+        let max = *per_bin.iter().max().unwrap() as f64;
+        let min = *per_bin.iter().min().unwrap() as f64;
+        assert!(max > min * 1.1, "bins {per_bin:?}");
+    }
+
+    #[test]
+    fn skew_is_milder_than_zipf_09() {
+        // Compare the share of requests to the single hottest document in
+        // Sydney-like vs Zipf-0.9 synthetic traffic at equal scale.
+        let syd = small().build();
+        let zipf = crate::ZipfTraceBuilder::new()
+            .documents(1_500)
+            .caches(4)
+            .duration_minutes(180)
+            .requests_per_cache_per_minute(30.0)
+            .updates_per_minute(25.0)
+            .seed(11)
+            .build();
+        let top_share = |tr: &Trace| {
+            let mut counts = vec![0u64; tr.catalog().len()];
+            let mut total = 0u64;
+            for e in tr.events() {
+                if matches!(e.kind, TraceEventKind::Request { .. }) {
+                    counts[e.doc as usize] += 1;
+                    total += 1;
+                }
+            }
+            *counts.iter().max().unwrap() as f64 / total as f64
+        };
+        assert!(
+            top_share(&syd) < top_share(&zipf),
+            "sydney {} vs zipf {}",
+            top_share(&syd),
+            top_share(&zipf)
+        );
+    }
+
+    #[test]
+    fn updates_concentrate_on_hot_documents() {
+        let tr = small().build();
+        let mut upd = vec![0u64; tr.catalog().len()];
+        for e in tr.events() {
+            if e.kind == TraceEventKind::Update {
+                upd[e.doc as usize] += 1;
+            }
+        }
+        let head: u64 = upd[..150].iter().sum();
+        let total: u64 = upd.iter().sum();
+        assert!(
+            head as f64 / total as f64 > 0.5,
+            "head {head} of {total}"
+        );
+    }
+
+    #[test]
+    fn all_events_within_duration() {
+        let tr = small().build();
+        let span = SimDuration::from_minutes(180);
+        for e in tr.events() {
+            assert!(e.at < SimTime::ZERO + span);
+        }
+    }
+}

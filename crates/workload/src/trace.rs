@@ -1,0 +1,404 @@
+//! The trace model: a document catalog plus a time-ordered event stream.
+//!
+//! The paper's simulator is trace-driven: "Each cache in the cache cloud
+//! receives requests continuously according to a request-trace file, and the
+//! server continuously reads from an update trace file". We merge both files
+//! into a single time-ordered stream of [`TraceEvent`]s so the simulator can
+//! replay everything from one cursor.
+
+use std::io::{BufRead, Write};
+
+use cachecloud_types::{ByteSize, CacheId, DocId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A document in the workload: its identifier and body size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocumentSpec {
+    /// The document's identity (URL + memoized digest).
+    pub id: DocId,
+    /// Size of the document body in bytes.
+    pub size: ByteSize,
+}
+
+/// The set of documents a trace draws from.
+///
+/// Events reference documents by dense catalog index (`u32`), which keeps a
+/// multi-million-event trace compact.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_workload::{Catalog, DocumentSpec};
+/// use cachecloud_types::{ByteSize, DocId};
+///
+/// let cat = Catalog::new(vec![DocumentSpec {
+///     id: DocId::from_url("/a"),
+///     size: ByteSize::from_kib(4),
+/// }]);
+/// assert_eq!(cat.len(), 1);
+/// assert_eq!(cat.doc(0).id.url(), "/a");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Catalog {
+    docs: Vec<DocumentSpec>,
+}
+
+impl Catalog {
+    /// Creates a catalog from document specs.
+    pub fn new(docs: Vec<DocumentSpec>) -> Self {
+        Catalog { docs }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the catalog holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The document at catalog index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn doc(&self, idx: u32) -> &DocumentSpec {
+        &self.docs[idx as usize]
+    }
+
+    /// Iterates over all documents.
+    pub fn iter(&self) -> std::slice::Iter<'_, DocumentSpec> {
+        self.docs.iter()
+    }
+
+    /// Total size of all document bodies.
+    pub fn total_size(&self) -> ByteSize {
+        self.docs.iter().map(|d| d.size).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Catalog {
+    type Item = &'a DocumentSpec;
+    type IntoIter = std::slice::Iter<'a, DocumentSpec>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.docs.iter()
+    }
+}
+
+/// What happened at a trace instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A client request arriving at a specific edge cache.
+    Request {
+        /// The edge cache that received the request.
+        cache: CacheId,
+    },
+    /// An origin-side update (invalidation + new version) of a document.
+    Update,
+}
+
+/// One record of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Catalog index of the document involved.
+    pub doc: u32,
+    /// Request or update.
+    pub kind: TraceEventKind,
+}
+
+/// A complete workload: catalog, time-ordered events, span and cache count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    catalog: Catalog,
+    events: Vec<TraceEvent>,
+    duration: SimDuration,
+    num_caches: usize,
+}
+
+impl Trace {
+    /// Assembles a trace, sorting events by time (stable, so simultaneous
+    /// events keep generation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event references a document outside the catalog or a
+    /// cache `>= num_caches`.
+    pub fn new(
+        catalog: Catalog,
+        mut events: Vec<TraceEvent>,
+        duration: SimDuration,
+        num_caches: usize,
+    ) -> Self {
+        for e in &events {
+            assert!(
+                (e.doc as usize) < catalog.len(),
+                "event references document {} outside catalog of {}",
+                e.doc,
+                catalog.len()
+            );
+            if let TraceEventKind::Request { cache } = e.kind {
+                assert!(
+                    cache.index() < num_caches,
+                    "event references {cache} but trace has {num_caches} caches"
+                );
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        Trace {
+            catalog,
+            events,
+            duration,
+            num_caches,
+        }
+    }
+
+    /// The document catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The time-ordered event stream.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Nominal duration of the trace.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Number of edge caches the trace addresses.
+    pub fn num_caches(&self) -> usize {
+        self.num_caches
+    }
+
+    /// Number of request events.
+    pub fn request_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Request { .. }))
+            .count()
+    }
+
+    /// Number of update events.
+    pub fn update_count(&self) -> usize {
+        self.events.len() - self.request_count()
+    }
+
+    /// Observed mean update rate in updates per minute over the nominal
+    /// duration.
+    pub fn observed_update_rate_per_minute(&self) -> f64 {
+        let mins = self.duration.as_minutes_f64();
+        if mins == 0.0 {
+            0.0
+        } else {
+            self.update_count() as f64 / mins
+        }
+    }
+
+    /// Serializes the trace as JSONL: one header line (catalog + metadata)
+    /// followed by one line per event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let header = TraceHeader {
+            catalog: &self.catalog,
+            duration: self.duration,
+            num_caches: self.num_caches,
+            event_count: self.events.len(),
+        };
+        serde_json::to_writer(&mut w, &header)?;
+        w.write_all(b"\n")?;
+        for e in &self.events {
+            serde_json::to_writer(&mut w, e)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`Trace::write_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed JSON, or a missing header line.
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Trace> {
+        let mut lines = r.lines();
+        let header_line = lines.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing trace header")
+        })??;
+        let header: OwnedTraceHeader = serde_json::from_str(&header_line)?;
+        let mut events = Vec::with_capacity(header.event_count);
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str(&line)?);
+        }
+        Ok(Trace::new(
+            header.catalog,
+            events,
+            header.duration,
+            header.num_caches,
+        ))
+    }
+}
+
+#[derive(Serialize)]
+struct TraceHeader<'a> {
+    catalog: &'a Catalog,
+    duration: SimDuration,
+    num_caches: usize,
+    event_count: usize,
+}
+
+#[derive(Deserialize)]
+struct OwnedTraceHeader {
+    catalog: Catalog,
+    duration: SimDuration,
+    num_caches: usize,
+    event_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> Trace {
+        let catalog = Catalog::new(vec![
+            DocumentSpec {
+                id: DocId::from_url("/a"),
+                size: ByteSize::from_bytes(100),
+            },
+            DocumentSpec {
+                id: DocId::from_url("/b"),
+                size: ByteSize::from_bytes(200),
+            },
+        ]);
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        let events = vec![
+            TraceEvent {
+                at: t(30),
+                doc: 1,
+                kind: TraceEventKind::Update,
+            },
+            TraceEvent {
+                at: t(10),
+                doc: 0,
+                kind: TraceEventKind::Request { cache: CacheId(0) },
+            },
+            TraceEvent {
+                at: t(20),
+                doc: 1,
+                kind: TraceEventKind::Request { cache: CacheId(1) },
+            },
+        ];
+        Trace::new(catalog, events, SimDuration::from_minutes(1), 2)
+    }
+
+    #[test]
+    fn events_are_sorted_by_time() {
+        let tr = tiny_trace();
+        let times: Vec<u64> = tr.events().iter().map(|e| e.at.as_micros()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let tr = tiny_trace();
+        assert_eq!(tr.request_count(), 2);
+        assert_eq!(tr.update_count(), 1);
+        assert_eq!(tr.observed_update_rate_per_minute(), 1.0);
+        assert_eq!(tr.num_caches(), 2);
+    }
+
+    #[test]
+    fn catalog_accessors() {
+        let tr = tiny_trace();
+        assert_eq!(tr.catalog().len(), 2);
+        assert_eq!(tr.catalog().total_size(), ByteSize::from_bytes(300));
+        assert_eq!(tr.catalog().doc(1).id.url(), "/b");
+        assert_eq!(tr.catalog().iter().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let tr = tiny_trace();
+        let mut buf = Vec::new();
+        tr.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn read_rejects_empty_input() {
+        let err = Trace::read_jsonl(std::io::BufReader::new(&b""[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalog")]
+    fn rejects_dangling_doc_reference() {
+        let catalog = Catalog::new(vec![]);
+        let _ = Trace::new(
+            catalog,
+            vec![TraceEvent {
+                at: SimTime::ZERO,
+                doc: 0,
+                kind: TraceEventKind::Update,
+            }],
+            SimDuration::from_minutes(1),
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "caches")]
+    fn rejects_out_of_range_cache() {
+        let catalog = Catalog::new(vec![DocumentSpec {
+            id: DocId::from_url("/a"),
+            size: ByteSize::from_bytes(1),
+        }]);
+        let _ = Trace::new(
+            catalog,
+            vec![TraceEvent {
+                at: SimTime::ZERO,
+                doc: 0,
+                kind: TraceEventKind::Request { cache: CacheId(5) },
+            }],
+            SimDuration::from_minutes(1),
+            2,
+        );
+    }
+
+    #[test]
+    fn stable_sort_preserves_simultaneous_order() {
+        let catalog = Catalog::new(vec![DocumentSpec {
+            id: DocId::from_url("/a"),
+            size: ByteSize::from_bytes(1),
+        }]);
+        let ev = |doc_kind: TraceEventKind| TraceEvent {
+            at: SimTime::from_micros(5),
+            doc: 0,
+            kind: doc_kind,
+        };
+        let tr = Trace::new(
+            catalog,
+            vec![
+                ev(TraceEventKind::Update),
+                ev(TraceEventKind::Request { cache: CacheId(0) }),
+            ],
+            SimDuration::from_minutes(1),
+            1,
+        );
+        assert_eq!(tr.events()[0].kind, TraceEventKind::Update);
+    }
+}

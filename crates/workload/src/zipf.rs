@@ -1,0 +1,186 @@
+//! A Zipf(θ) sampler over ranks `0..n`.
+//!
+//! The paper's synthetic dataset draws both accesses and invalidations from
+//! Zipf distributions ("Zipf-0.9"), and Figure 6 sweeps the Zipf parameter
+//! from 0.0 to 0.99. We sample by inverting a precomputed CDF with binary
+//! search: exact, O(n) setup, O(log n) per sample.
+
+use cachecloud_sim::SimRng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^θ`.
+///
+/// `θ = 0` is the uniform distribution; larger θ is more skewed. Rank 0 is
+/// the most popular item.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_workload::ZipfSampler;
+/// use cachecloud_sim::SimRng;
+///
+/// let z = ZipfSampler::new(1000, 0.9);
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let mut counts = vec![0u32; 1000];
+/// for _ in 0..10_000 {
+///     counts[z.sample(&mut rng)] += 1;
+/// }
+/// // Rank 0 dominates under θ = 0.9.
+/// assert!(counts[0] > counts[500]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[i]` = P(rank <= i). Last entry is 1.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf parameter must be a non-negative finite number"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf, theta }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler has a single rank (never empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The configured skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the first index with cdf[i] >= u
+        // (predicate: cdf[i] < u).
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for theta in [0.0, 0.5, 0.9, 0.99, 2.0] {
+            let z = ZipfSampler::new(100, theta);
+            let sum: f64 = (0..100).map(|r| z.pmf(r)).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta {theta}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn pmf_is_decreasing_in_rank() {
+        let z = ZipfSampler::new(50, 0.9);
+        for r in 1..50 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn known_head_mass() {
+        // For n=2, θ=1: masses 1/(1+0.5) and 0.5/(1.5) = 2/3, 1/3.
+        let z = ZipfSampler::new(2, 1.0);
+        assert!((z.pmf(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((z.pmf(1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = ZipfSampler::new(10, 0.9);
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(r)).abs() < 0.005,
+                "rank {r}: emp {emp} vs pmf {}",
+                z.pmf(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = ZipfSampler::new(1, 0.9);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(37, 0.7);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 37);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn zero_population_panics() {
+        let _ = ZipfSampler::new(0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf parameter")]
+    fn negative_theta_panics() {
+        let _ = ZipfSampler::new(10, -0.5);
+    }
+}

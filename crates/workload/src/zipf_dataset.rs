@@ -1,0 +1,363 @@
+//! Builder for the paper's synthetic "Zipf-θ" datasets.
+//!
+//! In the paper's Zipf-0.9 dataset both accesses and invalidations follow a
+//! Zipf distribution with parameter 0.9. Figure 6 sweeps θ from 0.0 to 0.99.
+
+use cachecloud_sim::SimRng;
+use cachecloud_types::{ByteSize, CacheId, DocId, SimDuration, SimTime};
+
+use crate::trace::{Catalog, DocumentSpec, Trace, TraceEvent, TraceEventKind};
+use crate::zipf::ZipfSampler;
+
+/// Draws a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's method for small means and a rounded normal approximation for
+/// large ones (exact enough for workload synthesis).
+pub fn poisson_count(rng: &mut SimRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let sample = mean + mean.sqrt() * rng.standard_normal();
+        sample.round().max(0.0) as u64
+    }
+}
+
+/// Builds Zipf-θ traces: steady request and update streams whose document
+/// choices are Zipf-distributed.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_workload::ZipfTraceBuilder;
+///
+/// let trace = ZipfTraceBuilder::new()
+///     .documents(100)
+///     .theta(0.9)
+///     .caches(2)
+///     .duration_minutes(5)
+///     .requests_per_cache_per_minute(20.0)
+///     .updates_per_minute(10.0)
+///     .seed(42)
+///     .build();
+/// assert_eq!(trace.num_caches(), 2);
+/// assert!(trace.update_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTraceBuilder {
+    documents: usize,
+    theta: f64,
+    update_theta: Option<f64>,
+    decorrelate_updates: bool,
+    caches: usize,
+    duration_minutes: u64,
+    requests_per_cache_per_minute: f64,
+    updates_per_minute: f64,
+    size_mu: f64,
+    size_sigma: f64,
+    seed: u64,
+}
+
+impl Default for ZipfTraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZipfTraceBuilder {
+    /// Creates a builder with the paper's defaults: 25 000 documents,
+    /// θ = 0.9 for both accesses and invalidations, 10 caches, 24 hours.
+    pub fn new() -> Self {
+        ZipfTraceBuilder {
+            documents: 25_000,
+            theta: 0.9,
+            update_theta: None,
+            decorrelate_updates: false,
+            caches: 10,
+            duration_minutes: 24 * 60,
+            requests_per_cache_per_minute: 120.0,
+            updates_per_minute: 195.0,
+            size_mu: 8.6,
+            size_sigma: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Number of unique documents.
+    pub fn documents(mut self, n: usize) -> Self {
+        self.documents = n;
+        self
+    }
+
+    /// Zipf parameter for document accesses (and, unless overridden, for
+    /// invalidations).
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Overrides the Zipf parameter for invalidations.
+    pub fn update_theta(mut self, theta: f64) -> Self {
+        self.update_theta = Some(theta);
+        self
+    }
+
+    /// If set, update popularity ranks are an independent permutation of the
+    /// access ranks (hot readers are not necessarily hot writers).
+    pub fn decorrelate_updates(mut self, yes: bool) -> Self {
+        self.decorrelate_updates = yes;
+        self
+    }
+
+    /// Number of edge caches receiving requests.
+    pub fn caches(mut self, n: usize) -> Self {
+        self.caches = n;
+        self
+    }
+
+    /// Trace length in minutes (the paper's unit time is one minute).
+    pub fn duration_minutes(mut self, m: u64) -> Self {
+        self.duration_minutes = m;
+        self
+    }
+
+    /// Mean request rate per cache per minute.
+    pub fn requests_per_cache_per_minute(mut self, r: f64) -> Self {
+        self.requests_per_cache_per_minute = r;
+        self
+    }
+
+    /// Mean origin-side update rate per minute (the paper's Figures 7–9
+    /// sweep this from 10 to 1000).
+    pub fn updates_per_minute(mut self, r: f64) -> Self {
+        self.updates_per_minute = r;
+        self
+    }
+
+    /// Log-normal document-size parameters (of the underlying normal, in
+    /// log-bytes).
+    pub fn size_lognormal(mut self, mu: f64, sigma: f64) -> Self {
+        self.size_mu = mu;
+        self.size_sigma = sigma;
+        self
+    }
+
+    /// RNG seed; identical configurations with identical seeds produce
+    /// identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `documents == 0` or `caches == 0`.
+    pub fn build(&self) -> Trace {
+        assert!(self.documents > 0, "need at least one document");
+        assert!(self.caches > 0, "need at least one cache");
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0xC10D);
+        let catalog = build_catalog(
+            self.documents,
+            "/zipf/doc-",
+            self.size_mu,
+            self.size_sigma,
+            &mut rng,
+        );
+
+        let access = ZipfSampler::new(self.documents, self.theta);
+        let update = ZipfSampler::new(
+            self.documents,
+            self.update_theta.unwrap_or(self.theta),
+        );
+        // Optional independent permutation for update popularity.
+        let update_rank: Vec<u32> = if self.decorrelate_updates {
+            let mut perm: Vec<u32> = (0..self.documents as u32).collect();
+            rng.shuffle(&mut perm);
+            perm
+        } else {
+            (0..self.documents as u32).collect()
+        };
+
+        let duration = SimDuration::from_minutes(self.duration_minutes);
+        let span_us = duration.as_micros().max(1);
+        let mut events = Vec::new();
+
+        let total_requests = poisson_count(
+            &mut rng,
+            self.requests_per_cache_per_minute * self.caches as f64
+                * self.duration_minutes as f64,
+        );
+        for _ in 0..total_requests {
+            let at = SimTime::from_micros(rng.range_u64(0, span_us));
+            let doc = access.sample(&mut rng) as u32;
+            let cache = CacheId(rng.next_usize(self.caches));
+            events.push(TraceEvent {
+                at,
+                doc,
+                kind: TraceEventKind::Request { cache },
+            });
+        }
+
+        let total_updates = poisson_count(
+            &mut rng,
+            self.updates_per_minute * self.duration_minutes as f64,
+        );
+        for _ in 0..total_updates {
+            let at = SimTime::from_micros(rng.range_u64(0, span_us));
+            let rank = update.sample(&mut rng);
+            let doc = update_rank[rank];
+            events.push(TraceEvent {
+                at,
+                doc,
+                kind: TraceEventKind::Update,
+            });
+        }
+
+        Trace::new(catalog, events, duration, self.caches)
+    }
+}
+
+/// Builds a catalog of `n` documents with log-normal sizes clamped to
+/// `[128 B, 2 MiB]`.
+pub(crate) fn build_catalog(
+    n: usize,
+    url_prefix: &str,
+    mu: f64,
+    sigma: f64,
+    rng: &mut SimRng,
+) -> Catalog {
+    let docs = (0..n)
+        .map(|i| {
+            let raw = rng.log_normal(mu, sigma);
+            let size = (raw as u64).clamp(128, 2 * 1024 * 1024);
+            DocumentSpec {
+                id: DocId::from_url(format!("{url_prefix}{i:06}")),
+                size: ByteSize::from_bytes(size),
+            }
+        })
+        .collect();
+    Catalog::new(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ZipfTraceBuilder {
+        ZipfTraceBuilder::new()
+            .documents(200)
+            .caches(4)
+            .duration_minutes(10)
+            .requests_per_cache_per_minute(30.0)
+            .updates_per_minute(12.0)
+            .seed(9)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small().build();
+        let b = small().build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = small().build();
+        let b = small().seed(10).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counts_near_expectation() {
+        let tr = small().build();
+        // E[requests] = 30 * 4 * 10 = 1200; Poisson sd ~ 35.
+        let req = tr.request_count() as f64;
+        assert!((req - 1200.0).abs() < 200.0, "req {req}");
+        let upd = tr.update_count() as f64;
+        assert!((upd - 120.0).abs() < 60.0, "upd {upd}");
+    }
+
+    #[test]
+    fn observed_update_rate_close_to_configured() {
+        let tr = ZipfTraceBuilder::new()
+            .documents(500)
+            .caches(2)
+            .duration_minutes(60)
+            .requests_per_cache_per_minute(5.0)
+            .updates_per_minute(100.0)
+            .seed(3)
+            .build();
+        let rate = tr.observed_update_rate_per_minute();
+        assert!((rate - 100.0).abs() < 10.0, "rate {rate}");
+    }
+
+    #[test]
+    fn zipf_head_is_hot() {
+        let tr = small().build();
+        let mut counts = vec![0u64; 200];
+        for e in tr.events() {
+            if matches!(e.kind, TraceEventKind::Request { .. }) {
+                counts[e.doc as usize] += 1;
+            }
+        }
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[190..].iter().sum();
+        assert!(head > tail * 3, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn sizes_are_clamped() {
+        let tr = small().build();
+        for d in tr.catalog() {
+            let b = d.size.as_bytes();
+            assert!((128..=2 * 1024 * 1024).contains(&b));
+        }
+    }
+
+    #[test]
+    fn decorrelated_updates_use_permutation() {
+        let base = small().theta(1.2).build();
+        let dec = small().theta(1.2).decorrelate_updates(true).build();
+        let hot_updates = |tr: &Trace| {
+            tr.events()
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::Update && e.doc == 0)
+                .count()
+        };
+        // With correlation, doc 0 receives by far the most updates; after
+        // decorrelation that's overwhelmingly unlikely to persist exactly.
+        assert!(hot_updates(&base) >= hot_updates(&dec));
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(poisson_count(&mut rng, 0.0), 0);
+        let n = 5000;
+        let small_mean: f64 =
+            (0..n).map(|_| poisson_count(&mut rng, 3.0) as f64).sum::<f64>() / n as f64;
+        assert!((small_mean - 3.0).abs() < 0.15, "mean {small_mean}");
+        let big_mean: f64 =
+            (0..n).map(|_| poisson_count(&mut rng, 500.0) as f64).sum::<f64>() / n as f64;
+        assert!((big_mean - 500.0).abs() < 2.0, "mean {big_mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one document")]
+    fn zero_documents_panics() {
+        let _ = ZipfTraceBuilder::new().documents(0).build();
+    }
+}

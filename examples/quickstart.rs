@@ -1,0 +1,93 @@
+//! Quickstart: one cache cloud, one synthetic workload, one report.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Builds a Zipf-0.9 trace for a 10-cache cloud, runs the paper's default
+//! configuration (dynamic hashing with 2-point beacon rings, utility-based
+//! placement), and prints the report.
+
+use cache_clouds_repro::core::{CloudConfig, EdgeNetworkSim, HashingScheme, PlacementScheme};
+use cache_clouds_repro::metrics::report::{fmt_f64, Table};
+use cache_clouds_repro::types::SimDuration;
+use cache_clouds_repro::workload::ZipfTraceBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a workload: 5 000 documents, Zipf-0.9 accesses and
+    //    invalidations, 10 edge caches, 4 hours at 60 requests/cache/minute.
+    let trace = ZipfTraceBuilder::new()
+        .documents(5_000)
+        .theta(0.9)
+        .caches(10)
+        .duration_minutes(240)
+        .requests_per_cache_per_minute(60.0)
+        .updates_per_minute(100.0)
+        .seed(2026)
+        .build();
+    println!(
+        "trace: {} documents, {} requests, {} updates over {} minutes",
+        trace.catalog().len(),
+        trace.request_count(),
+        trace.update_count(),
+        trace.duration().as_minutes_f64()
+    );
+
+    // 2. Configure the cloud exactly as the paper's defaults: 5 beacon
+    //    rings x 2 beacon points, IrHGen = 1000, hourly sub-range
+    //    determination, utility-based placement with threshold 0.5.
+    let config = CloudConfig::builder(10)
+        .hashing(HashingScheme::dynamic_rings(5, 1000, true))
+        .placement(PlacementScheme::utility_default())
+        .cycle(SimDuration::from_hours(1))
+        .seed(7)
+        .build()?;
+
+    // 3. Run and report.
+    let report = EdgeNetworkSim::new(config, &trace)?.run();
+    let mut t = Table::new(["metric", "value"]);
+    t.push_row(vec!["requests".into(), report.requests.to_string()]);
+    t.push_row(vec![
+        "local hit rate".into(),
+        format!("{:.1}%", report.local_hit_rate() * 100.0),
+    ]);
+    t.push_row(vec![
+        "cloud hit rate".into(),
+        format!("{:.1}%", report.cloud_hit_rate() * 100.0),
+    ]);
+    t.push_row(vec![
+        "origin fetch rate".into(),
+        format!("{:.1}%", report.origin_rate() * 100.0),
+    ]);
+    t.push_row(vec![
+        "mean latency".into(),
+        format!("{:.1} ms", report.mean_latency_ms),
+    ]);
+    t.push_row(vec![
+        "network load".into(),
+        format!("{:.2} MB/min", report.traffic_mb_per_unit),
+    ]);
+    t.push_row(vec![
+        "updates propagated".into(),
+        report.updates_propagated.to_string(),
+    ]);
+    t.push_row(vec![
+        "docs stored per cache".into(),
+        format!("{:.1}% of catalog", report.pct_docs_stored_per_cache()),
+    ]);
+    let s = report.beacon_load_summary();
+    t.push_row(vec![
+        "beacon load balance".into(),
+        format!(
+            "max/mean {} cov {}",
+            fmt_f64(s.max_over_mean(), 3),
+            fmt_f64(s.coefficient_of_variation(), 3)
+        ),
+    ]);
+    t.push_row(vec![
+        "rebalancing cycles".into(),
+        report.cycles.to_string(),
+    ]);
+    println!("\n{}", t.render());
+    Ok(())
+}

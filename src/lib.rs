@@ -1,0 +1,42 @@
+//! Umbrella crate of the cache-clouds reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests can `use cache_clouds_repro::...` uniformly. See the
+//! individual crates for the real documentation:
+//!
+//! * [`core`] (`cache-clouds`) — the cache-cloud system and simulator;
+//! * [`hashing`] — static / consistent / dynamic beacon assignment;
+//! * [`placement`] — ad hoc / beacon-point / utility placement;
+//! * [`workload`] — Zipf and Sydney trace synthesis;
+//! * [`storage`], [`net`], [`sim`], [`metrics`], [`types`] — substrates;
+//! * [`cluster`] — the live TCP cache cloud.
+//!
+//! # Examples
+//!
+//! ```
+//! use cache_clouds_repro::core::{CloudConfig, EdgeNetworkSim};
+//! use cache_clouds_repro::workload::ZipfTraceBuilder;
+//!
+//! let trace = ZipfTraceBuilder::new()
+//!     .documents(100).caches(2).duration_minutes(5)
+//!     .requests_per_cache_per_minute(20.0).updates_per_minute(5.0)
+//!     .seed(1).build();
+//! let config = CloudConfig::builder(2).build()?;
+//! let report = EdgeNetworkSim::new(config, &trace)?.run();
+//! assert!(report.requests > 0);
+//! # Ok::<(), cache_clouds_repro::types::CacheCloudError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cache_clouds as core;
+pub use cachecloud_cluster as cluster;
+pub use cachecloud_hashing as hashing;
+pub use cachecloud_metrics as metrics;
+pub use cachecloud_net as net;
+pub use cachecloud_placement as placement;
+pub use cachecloud_sim as sim;
+pub use cachecloud_storage as storage;
+pub use cachecloud_types as types;
+pub use cachecloud_workload as workload;

@@ -1,0 +1,200 @@
+//! Live TCP cluster integration tests.
+
+use cache_clouds_repro::cluster::LocalCluster;
+use cache_clouds_repro::types::ByteSize;
+
+#[test]
+fn full_protocol_over_tcp() {
+    let cluster = LocalCluster::spawn(5).unwrap();
+    let client = cluster.client();
+
+    // Publish, replicate by cooperative reads, then update.
+    for i in 0..10 {
+        client
+            .publish(&format!("/live/{i}"), format!("v1-{i}").into_bytes(), 1)
+            .unwrap();
+    }
+    for i in 0..10 {
+        for node in 0..5 {
+            let (body, v) = client
+                .fetch_via(node, &format!("/live/{i}"))
+                .unwrap()
+                .expect("document is in the cloud");
+            assert_eq!(v, 1);
+            assert_eq!(body, format!("v1-{i}").into_bytes());
+        }
+    }
+    client.update("/live/0", b"v2-0".to_vec(), 2).unwrap();
+    for node in 0..5 {
+        let (body, v) = client.fetch_via(node, "/live/0").unwrap().unwrap();
+        assert_eq!(v, 2, "node {node} must have the fanned-out update");
+        assert_eq!(body, b"v2-0");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn directory_records_live_at_the_beacon() {
+    let cluster = LocalCluster::spawn(4).unwrap();
+    let client = cluster.client();
+    client.publish("/only", b"x".to_vec(), 1).unwrap();
+    let beacon = client.beacon_of("/only");
+    for node in 0..4 {
+        let (_, records, _, _) = client.stats(node).unwrap();
+        if node == beacon {
+            assert_eq!(records, 1, "the beacon holds the record");
+        } else {
+            assert_eq!(records, 0, "non-beacons hold no record for /only");
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_clients_hammer_the_cloud() {
+    let cluster = LocalCluster::spawn(4).unwrap();
+    let client = cluster.client();
+    for i in 0..8 {
+        client
+            .publish(&format!("/c/{i}"), vec![i as u8; 64], 1)
+            .unwrap();
+    }
+    let mut handles = Vec::new();
+    for worker in 0..8u32 {
+        let client = cluster.client();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..25 {
+                let i = (worker as usize + round) % 8;
+                let node = (worker + round as u32) % 4;
+                let got = client
+                    .fetch_via(node, &format!("/c/{i}"))
+                    .expect("transport ok");
+                assert!(got.is_some(), "document /c/{i} lost");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every node served traffic.
+    for node in 0..4 {
+        let (_, _, hits, misses) = client.stats(node).unwrap();
+        assert!(hits + misses > 0, "node {node} idle");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn live_rebalance_moves_hot_ranges_and_their_records() {
+    let cluster = LocalCluster::spawn(4).unwrap();
+    let client = cluster.client();
+    assert_eq!(client.table_version(), 0);
+
+    // Publish a batch of documents whose beacon is node 0 and make them
+    // update-hot: every origin-side update is load on node 0's sub-range.
+    let hot: Vec<String> = (0..2000)
+        .map(|i| format!("/hot/{i}"))
+        .filter(|u| client.beacon_of(u) == 0)
+        .take(40)
+        .collect();
+    assert!(!hot.is_empty(), "some URLs hash to node 0");
+    for u in &hot {
+        client.publish(u, b"v1".to_vec(), 1).unwrap();
+    }
+    for round in 0..20u64 {
+        for u in &hot {
+            client.update(u, b"vN".to_vec(), 2 + round).unwrap();
+        }
+    }
+
+    // Coordinate a rebalance: the overloaded node 0 sheds part of its
+    // sub-range to its ring partner (node 2 in 4-node/2-per-ring layout).
+    let version = client.rebalance().unwrap();
+    assert_eq!(version, 1);
+    assert_eq!(client.table_version(), 1);
+    let moved: Vec<&String> = hot.iter().filter(|u| client.beacon_of(u) != 0).collect();
+    assert!(
+        !moved.is_empty(),
+        "a skewed load must shift some IrH values to the ring partner"
+    );
+    for u in &moved {
+        assert_eq!(client.beacon_of(u), 2, "node 0's ring partner is node 2");
+    }
+
+    // The migrated directory records still resolve: a fresh node can find
+    // and fetch every document through the new beacon.
+    for u in &hot {
+        let got = client.fetch_via(1, u).unwrap();
+        assert!(got.is_some(), "document {u} lost in the handoff");
+    }
+    // Updates keep propagating through the new beacon points.
+    for u in &moved {
+        client.update(u, b"final".to_vec(), 99).unwrap();
+        let (body, v) = client.fetch_via(3, u).unwrap().expect("served");
+        assert_eq!(v, 99);
+        assert_eq!(body, b"final");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn rebalance_without_load_changes_nothing() {
+    let cluster = LocalCluster::spawn(4).unwrap();
+    let client = cluster.client();
+    let urls: Vec<String> = (0..50).map(|i| format!("/calm/{i}")).collect();
+    let before: Vec<u32> = urls.iter().map(|u| client.beacon_of(u)).collect();
+    let version = client.rebalance().unwrap();
+    assert_eq!(version, 1, "version advances even when nothing moves");
+    let after: Vec<u32> = urls.iter().map(|u| client.beacon_of(u)).collect();
+    assert_eq!(before, after, "no load, no movement");
+    cluster.shutdown();
+}
+
+#[test]
+fn repeated_rebalances_converge() {
+    let cluster = LocalCluster::spawn(4).unwrap();
+    let client = cluster.client();
+    let urls: Vec<String> = (0..200).map(|i| format!("/conv/{i}")).collect();
+    for u in &urls {
+        client.publish(u, b"x".to_vec(), 1).unwrap();
+    }
+    // Skewed update load, then several cycles of the same load pattern.
+    for cycle in 0..3 {
+        for (i, u) in urls.iter().enumerate() {
+            let weight = if i < 20 { 10 } else { 1 };
+            for _ in 0..weight {
+                client.update(u, b"y".to_vec(), 2 + cycle).unwrap();
+            }
+        }
+        client.rebalance().unwrap();
+    }
+    // Everything still fetchable after three rounds of range migration.
+    for u in &urls {
+        assert!(client.fetch_via(1, u).unwrap().is_some());
+    }
+    assert_eq!(client.table_version(), 3);
+    cluster.shutdown();
+}
+
+#[test]
+fn capacity_bounded_cluster_keeps_serving() {
+    let cluster = LocalCluster::spawn_with_capacity(3, ByteSize::from_bytes(256)).unwrap();
+    let client = cluster.client();
+    // Publish far more bytes than any node can hold.
+    for i in 0..30 {
+        client
+            .publish(&format!("/b/{i}"), vec![0xAB; 100], 1)
+            .unwrap();
+    }
+    // The most recently published documents are still fetchable; evicted
+    // ones report NotFound rather than wedging the protocol.
+    let mut present = 0;
+    for i in 0..30 {
+        if client.fetch(&format!("/b/{i}")).unwrap().is_some() {
+            present += 1;
+        }
+    }
+    assert!(present > 0, "some documents survive");
+    assert!(present < 30, "256-byte nodes cannot hold 30x100 bytes");
+    cluster.shutdown();
+}

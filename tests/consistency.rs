@@ -1,0 +1,75 @@
+//! Consistency-model integration tests: the paper's server push vs the
+//! TTL model of earlier cooperative-caching work.
+
+use cache_clouds_repro::core::{
+    CloudConfig, ConsistencyModel, EdgeNetworkSim, HashingScheme, PlacementScheme,
+};
+use cache_clouds_repro::types::SimDuration;
+use cache_clouds_repro::workload::ZipfTraceBuilder;
+
+fn trace() -> cache_clouds_repro::workload::Trace {
+    ZipfTraceBuilder::new()
+        .documents(400)
+        .caches(4)
+        .duration_minutes(120)
+        .requests_per_cache_per_minute(40.0)
+        .updates_per_minute(60.0)
+        .seed(21)
+        .build()
+}
+
+fn run(consistency: ConsistencyModel) -> cache_clouds_repro::core::SimReport {
+    let cfg = CloudConfig::builder(4)
+        .hashing(HashingScheme::dynamic_rings(2, 1000, true))
+        .placement(PlacementScheme::AdHoc)
+        .consistency(consistency)
+        .cycle(SimDuration::from_minutes(30))
+        .seed(3)
+        .build()
+        .unwrap();
+    EdgeNetworkSim::new(cfg, &trace()).unwrap().run()
+}
+
+#[test]
+fn server_push_is_always_fresh() {
+    let r = run(ConsistencyModel::ServerPush);
+    assert_eq!(r.stale_serves, 0);
+    assert_eq!(r.revalidations, 0);
+    assert!(r.updates_propagated > 0, "updates flow under push");
+    assert_eq!(r.staleness_rate(), 0.0);
+}
+
+#[test]
+fn ttl_trades_staleness_for_origin_silence() {
+    let r = run(ConsistencyModel::Ttl(SimDuration::from_minutes(10)));
+    assert_eq!(r.updates_propagated, 0, "origin never pushes under TTL");
+    assert!(r.stale_serves > 0, "hot documents go stale inside the TTL");
+    assert!(r.revalidations > 0, "expired copies revalidate");
+    assert!(r.staleness_rate() > 0.0 && r.staleness_rate() < 1.0);
+}
+
+#[test]
+fn longer_ttls_are_staler_but_quieter() {
+    let short = run(ConsistencyModel::Ttl(SimDuration::from_minutes(2)));
+    let long = run(ConsistencyModel::Ttl(SimDuration::from_minutes(60)));
+    assert!(
+        long.staleness_rate() > short.staleness_rate(),
+        "long {} vs short {}",
+        long.staleness_rate(),
+        short.staleness_rate()
+    );
+    assert!(
+        long.revalidations < short.revalidations,
+        "long {} vs short {}",
+        long.revalidations,
+        short.revalidations
+    );
+}
+
+#[test]
+fn zero_ttl_is_rejected_at_configuration() {
+    let err = CloudConfig::builder(4)
+        .consistency(ConsistencyModel::Ttl(SimDuration::ZERO))
+        .build();
+    assert!(err.is_err());
+}

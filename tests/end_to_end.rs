@@ -1,0 +1,205 @@
+//! End-to-end integration tests: full simulations across every crate.
+
+use cache_clouds_repro::core::{
+    CloudConfig, EdgeNetworkSim, HashingScheme, PlacementScheme,
+};
+use cache_clouds_repro::net::LatencyModel;
+use cache_clouds_repro::types::SimDuration;
+use cache_clouds_repro::workload::{SydneyTraceBuilder, Trace, ZipfTraceBuilder};
+
+fn zipf_trace(seed: u64) -> Trace {
+    ZipfTraceBuilder::new()
+        .documents(500)
+        .caches(4)
+        .duration_minutes(60)
+        .requests_per_cache_per_minute(40.0)
+        .updates_per_minute(30.0)
+        .seed(seed)
+        .build()
+}
+
+fn config(hashing: HashingScheme, placement: PlacementScheme) -> CloudConfig {
+    CloudConfig::builder(4)
+        .hashing(hashing)
+        .placement(placement)
+        .cycle(SimDuration::from_minutes(15))
+        .seed(3)
+        .build()
+        .expect("test config is valid")
+}
+
+#[test]
+fn every_request_is_accounted_for() {
+    let trace = zipf_trace(1);
+    for hashing in [
+        HashingScheme::Static,
+        HashingScheme::Consistent { virtual_nodes: 16 },
+        HashingScheme::dynamic_rings(2, 1000, true),
+        HashingScheme::dynamic_rings(2, 1000, false),
+    ] {
+        for placement in [
+            PlacementScheme::AdHoc,
+            PlacementScheme::BeaconPoint,
+            PlacementScheme::utility_default(),
+        ] {
+            let r = EdgeNetworkSim::new(config(hashing.clone(), placement.clone()), &trace)
+                .unwrap()
+                .run();
+            assert_eq!(
+                r.requests,
+                trace.request_count() as u64,
+                "{hashing:?}/{placement:?}"
+            );
+            assert_eq!(
+                r.requests,
+                r.local_hits + r.cloud_hits + r.origin_fetches,
+                "hit breakdown must partition requests ({hashing:?}/{placement:?})"
+            );
+            assert_eq!(r.updates_seen, trace.update_count() as u64);
+            assert!(r.updates_propagated + r.drops + r.stores > 0);
+        }
+    }
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let trace = zipf_trace(2);
+    let cfg = config(
+        HashingScheme::dynamic_rings(2, 1000, true),
+        PlacementScheme::utility_default(),
+    );
+    let a = EdgeNetworkSim::new(cfg.clone(), &trace).unwrap().run();
+    let b = EdgeNetworkSim::new(cfg, &trace).unwrap().run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cooperative_caching_beats_isolation_on_origin_traffic() {
+    // A cloud that cooperates (ad hoc placement, peers answer misses)
+    // must hit the origin far less often than the number of (doc, cache)
+    // pairs would suggest.
+    let trace = zipf_trace(3);
+    let r = EdgeNetworkSim::new(
+        config(HashingScheme::dynamic_rings(2, 1000, true), PlacementScheme::AdHoc),
+        &trace,
+    )
+    .unwrap()
+    .run();
+    // Under cooperation, each document needs at most one origin fetch as
+    // long as some copy survives; with unlimited disks copies never die, so
+    // origin fetches == distinct documents requested.
+    let distinct = {
+        let mut seen = std::collections::HashSet::new();
+        for e in trace.events() {
+            if matches!(
+                e.kind,
+                cache_clouds_repro::workload::TraceEventKind::Request { .. }
+            ) {
+                seen.insert(e.doc);
+            }
+        }
+        seen.len() as u64
+    };
+    assert_eq!(r.origin_fetches, distinct);
+    assert!(r.cloud_hit_rate() > r.local_hit_rate());
+}
+
+#[test]
+fn beacon_placement_bounds_replication() {
+    let trace = zipf_trace(4);
+    let r = EdgeNetworkSim::new(
+        config(
+            HashingScheme::dynamic_rings(2, 1000, true),
+            PlacementScheme::BeaconPoint,
+        ),
+        &trace,
+    )
+    .unwrap()
+    .run();
+    let total: usize = r.docs_stored_per_cache.iter().sum();
+    assert!(
+        total <= trace.catalog().len(),
+        "beacon placement keeps at most one copy per document"
+    );
+}
+
+#[test]
+fn sydney_trace_runs_under_bounded_disk() {
+    let trace = SydneyTraceBuilder::new()
+        .documents(2_000)
+        .caches(4)
+        .duration_minutes(120)
+        .requests_per_cache_per_minute(30.0)
+        .updates_per_minute(60.0)
+        .seed(5)
+        .build();
+    let cfg = CloudConfig::builder(4)
+        .hashing(HashingScheme::dynamic_rings(2, 1000, true))
+        .placement(PlacementScheme::utility_with_dscc())
+        .capacity(cache_clouds_repro::core::CapacityConfig::FractionOfCorpus(
+            0.15,
+        ))
+        .cycle(SimDuration::from_minutes(30))
+        .seed(6)
+        .build()
+        .unwrap();
+    let r = EdgeNetworkSim::new(cfg, &trace).unwrap().run();
+    assert!(r.evictions > 0, "a 15% disk must evict");
+    assert!(r.local_hit_rate() > 0.0);
+    // Disk bound respected: no cache stores more than the whole catalog.
+    for &n in &r.docs_stored_per_cache {
+        assert!(n < trace.catalog().len());
+    }
+}
+
+#[test]
+fn latency_reflects_topology() {
+    // With deterministic latencies, mean latency must lie between the
+    // all-local-hit extreme (0) and the all-origin extreme (2x origin).
+    let trace = zipf_trace(7);
+    let cfg = CloudConfig::builder(4)
+        .hashing(HashingScheme::Static)
+        .placement(PlacementScheme::AdHoc)
+        .latency(LatencyModel::deterministic(
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(100),
+        ))
+        .seed(8)
+        .build()
+        .unwrap();
+    let r = EdgeNetworkSim::new(cfg, &trace).unwrap().run();
+    assert!(r.mean_latency_ms > 0.0);
+    assert!(r.mean_latency_ms < 200.0);
+}
+
+#[test]
+fn update_rate_shifts_utility_storage_down() {
+    let build = |upd: f64| {
+        ZipfTraceBuilder::new()
+            .documents(500)
+            .caches(4)
+            .duration_minutes(90)
+            .requests_per_cache_per_minute(40.0)
+            .updates_per_minute(upd)
+            .seed(9)
+            .build()
+    };
+    let pct = |trace: &Trace| {
+        EdgeNetworkSim::new(
+            config(
+                HashingScheme::dynamic_rings(2, 1000, true),
+                PlacementScheme::utility_default(),
+            ),
+            trace,
+        )
+        .unwrap()
+        .run()
+        .pct_docs_stored_per_cache()
+    };
+    let low = pct(&build(5.0));
+    let high = pct(&build(500.0));
+    assert!(
+        high < low,
+        "storage percentage must fall as updates rise: low={low} high={high}"
+    );
+}

@@ -1,0 +1,44 @@
+//! Quick-scale executions of the paper-figure experiments, asserting the
+//! paper's qualitative claims end-to-end.
+
+use cachecloud_bench::figures;
+use cachecloud_bench::Scale;
+
+#[test]
+fn fig2_worked_example_matches_paper_exactly() {
+    let r = figures::fig2();
+    assert!(r.shape_ok(), "{r:?}");
+    assert_eq!(r.complete_ranges, vec![(0, 2), (3, 9)]);
+    assert_eq!(r.complete_loads, vec![410.0, 390.0]);
+    assert_eq!(r.approximate_ranges, vec![(0, 3), (4, 9)]);
+    assert_eq!(r.approximate_loads, vec![440.0, 360.0]);
+}
+
+#[test]
+fn fig3_dynamic_flattens_zipf_loads() {
+    let r = figures::fig3(&Scale::quick());
+    assert!(r.shape_ok(), "{r:?}");
+    assert!(r.static_max_over_mean > 1.0);
+}
+
+#[test]
+fn fig4_dynamic_flattens_sydney_loads() {
+    let r = figures::fig4(&Scale::quick());
+    assert!(r.shape_ok(), "{r:?}");
+}
+
+#[test]
+fn fig5_bigger_rings_balance_better() {
+    let r = figures::fig5(&Scale::quick());
+    assert!(r.shape_ok(), "{r:?}");
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[0].caches, 10);
+    assert_eq!(r.rows[2].caches, 50);
+}
+
+#[test]
+fn fig6_skew_hurts_static_more() {
+    let r = figures::fig6(&Scale::quick());
+    assert!(r.shape_ok(), "{r:?}");
+    assert_eq!(r.rows.len(), 11);
+}

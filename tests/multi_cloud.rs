@@ -1,0 +1,83 @@
+//! Multi-cloud edge-network integration tests: landmark clustering feeding
+//! the multi-cloud simulator.
+
+use cache_clouds_repro::core::{
+    CloudConfig, HashingScheme, MultiCloudSim, PlacementScheme,
+};
+use cache_clouds_repro::net::{cluster_by_landmarks, landmarks, EdgeNetwork};
+use cache_clouds_repro::sim::SimRng;
+use cache_clouds_repro::types::SimDuration;
+use cache_clouds_repro::workload::ZipfTraceBuilder;
+
+#[test]
+fn landmark_clusters_drive_a_multi_cloud_run() {
+    let caches = 20usize;
+    let mut rng = SimRng::seed_from_u64(77);
+    let network = EdgeNetwork::generate(caches, 2, &mut rng);
+    let probes = landmarks::random_landmarks(4, &mut rng);
+    let clusters = cluster_by_landmarks(&network, &probes, 10);
+    let membership: Vec<Vec<usize>> = clusters
+        .iter()
+        .map(|c| c.iter().map(|id| id.index()).collect())
+        .collect();
+    // The clustering must partition all caches.
+    let total: usize = membership.iter().map(Vec::len).sum();
+    assert_eq!(total, caches);
+
+    let trace = ZipfTraceBuilder::new()
+        .documents(400)
+        .caches(caches)
+        .duration_minutes(45)
+        .requests_per_cache_per_minute(20.0)
+        .updates_per_minute(30.0)
+        .seed(8)
+        .build();
+    let template = CloudConfig::builder(4)
+        .hashing(HashingScheme::Static)
+        .placement(PlacementScheme::AdHoc)
+        .cycle(SimDuration::from_minutes(15))
+        .seed(2)
+        .build()
+        .unwrap();
+    let report = MultiCloudSim::new(&membership, &template, &trace)
+        .unwrap()
+        .run();
+    assert_eq!(report.requests(), trace.request_count() as u64);
+    assert_eq!(report.clouds.len(), membership.len());
+    // The origin never sends more messages with clouds than without.
+    assert!(report.origin_update_messages <= report.origin_update_messages_without_clouds);
+    assert!(report.update_fanout_reduction() >= 1.0);
+}
+
+#[test]
+fn per_cloud_reports_are_self_consistent() {
+    let trace = ZipfTraceBuilder::new()
+        .documents(200)
+        .caches(6)
+        .duration_minutes(30)
+        .requests_per_cache_per_minute(25.0)
+        .updates_per_minute(15.0)
+        .seed(9)
+        .build();
+    let template = CloudConfig::builder(3)
+        .hashing(HashingScheme::Static)
+        .placement(PlacementScheme::utility_default())
+        .cycle(SimDuration::from_minutes(10))
+        .seed(4)
+        .build()
+        .unwrap();
+    let membership = vec![vec![0, 1, 2], vec![3, 4, 5]];
+    let report = MultiCloudSim::new(&membership, &template, &trace)
+        .unwrap()
+        .run();
+    for c in &report.clouds {
+        assert_eq!(c.requests, c.local_hits + c.cloud_hits + c.origin_fetches);
+        assert!(c.traffic_mb_per_unit >= 0.0);
+        assert_eq!(c.docs_stored_per_cache.len(), 3);
+    }
+    // Multi-cloud runs are deterministic too.
+    let again = MultiCloudSim::new(&membership, &template, &trace)
+        .unwrap()
+        .run();
+    assert_eq!(again, report);
+}

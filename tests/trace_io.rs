@@ -1,0 +1,105 @@
+//! Trace serialization and workload-statistics integration tests.
+
+use cache_clouds_repro::workload::{
+    SydneyTraceBuilder, Trace, TraceStats, ZipfTraceBuilder,
+};
+
+#[test]
+fn zipf_trace_roundtrips_through_jsonl_file() {
+    let trace = ZipfTraceBuilder::new()
+        .documents(150)
+        .caches(3)
+        .duration_minutes(20)
+        .requests_per_cache_per_minute(15.0)
+        .updates_per_minute(8.0)
+        .seed(1)
+        .build();
+    let dir = std::env::temp_dir().join("cachecloud-trace-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("zipf.jsonl");
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        trace.write_jsonl(std::io::BufWriter::new(file)).unwrap();
+    }
+    let back = {
+        let file = std::fs::File::open(&path).unwrap();
+        Trace::read_jsonl(std::io::BufReader::new(file)).unwrap()
+    };
+    assert_eq!(back, trace);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sydney_trace_roundtrips_and_keeps_statistics() {
+    let trace = SydneyTraceBuilder::new()
+        .documents(800)
+        .caches(4)
+        .duration_minutes(60)
+        .requests_per_cache_per_minute(20.0)
+        .updates_per_minute(25.0)
+        .seed(2)
+        .build();
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let back = Trace::read_jsonl(std::io::BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(TraceStats::compute(&back), TraceStats::compute(&trace));
+}
+
+#[test]
+fn builders_are_reproducible_across_invocations() {
+    let build = || {
+        ZipfTraceBuilder::new()
+            .documents(100)
+            .caches(2)
+            .duration_minutes(10)
+            .requests_per_cache_per_minute(10.0)
+            .updates_per_minute(5.0)
+            .seed(42)
+            .build()
+    };
+    assert_eq!(build(), build());
+    let sydney = || {
+        SydneyTraceBuilder::new()
+            .documents(300)
+            .caches(2)
+            .duration_minutes(30)
+            .requests_per_cache_per_minute(10.0)
+            .updates_per_minute(15.0)
+            .seed(42)
+            .build()
+    };
+    assert_eq!(sydney(), sydney());
+}
+
+#[test]
+fn request_streams_are_update_rate_invariant() {
+    // The paper's Figures 7-9 sweep the update rate while "the access rates
+    // at caches are fixed": with the same seed, changing only the update
+    // rate must leave the request stream untouched.
+    let build = |upd: f64| {
+        SydneyTraceBuilder::new()
+            .documents(500)
+            .caches(3)
+            .duration_minutes(45)
+            .requests_per_cache_per_minute(12.0)
+            .updates_per_minute(upd)
+            .seed(7)
+            .build()
+    };
+    let a = build(10.0);
+    let b = build(500.0);
+    let requests = |t: &Trace| {
+        t.events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    cache_clouds_repro::workload::TraceEventKind::Request { .. }
+                )
+            })
+            .copied()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(requests(&a), requests(&b));
+    assert!(b.update_count() > a.update_count() * 10);
+}
