@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally: formatting, lints, tests.
+#
+#   ./ci.sh
+#
+# Mirrors .github/workflows/ci.yml exactly — if this passes, CI passes.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "CI green."

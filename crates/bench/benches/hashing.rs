@@ -10,13 +10,14 @@ use cachecloud_hashing::{
 use cachecloud_types::{CacheId, Capability, DocId};
 
 fn docs(n: usize) -> Vec<DocId> {
-    (0..n).map(|i| DocId::from_url(format!("/bench/doc-{i}"))).collect()
+    (0..n)
+        .map(|i| DocId::from_url(format!("/bench/doc-{i}")))
+        .collect()
 }
 
 fn assigners(caches: usize) -> Vec<(&'static str, Box<dyn BeaconAssigner>)> {
     let ids: Vec<CacheId> = (0..caches).map(CacheId).collect();
-    let caps: Vec<(CacheId, Capability)> =
-        ids.iter().map(|&c| (c, Capability::UNIT)).collect();
+    let caps: Vec<(CacheId, Capability)> = ids.iter().map(|&c| (c, Capability::UNIT)).collect();
     vec![
         (
             "static",
@@ -29,8 +30,7 @@ fn assigners(caches: usize) -> Vec<(&'static str, Box<dyn BeaconAssigner>)> {
         (
             "dynamic",
             Box::new(
-                DynamicHashing::new(&caps, RingLayout::points_per_ring(2), 1000, true)
-                    .unwrap(),
+                DynamicHashing::new(&caps, RingLayout::points_per_ring(2), 1000, true).unwrap(),
             ),
         ),
     ]
@@ -76,8 +76,7 @@ fn bench_end_cycle(c: &mut Criterion) {
             let caps: Vec<(CacheId, Capability)> =
                 (0..10).map(|i| (CacheId(i), Capability::UNIT)).collect();
             let mut dh =
-                DynamicHashing::new(&caps, RingLayout::points_per_ring(ring), 1000, true)
-                    .unwrap();
+                DynamicHashing::new(&caps, RingLayout::points_per_ring(ring), 1000, true).unwrap();
             b.iter(|| {
                 for (i, d) in ds.iter().enumerate() {
                     dh.record_load(d, (i % 17) as f64);
@@ -89,5 +88,10 @@ fn bench_end_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_beacon_for, bench_record_load, bench_end_cycle);
+criterion_group!(
+    benches,
+    bench_beacon_for,
+    bench_record_load,
+    bench_end_cycle
+);
 criterion_main!(benches);

@@ -25,8 +25,7 @@ fn bench_insert_evict(c: &mut Criterion) {
     for name in ["lru", "fifo", "lfu", "gds"] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
             // Capacity for ~256 of the 4096 docs: every insert evicts.
-            let mut store =
-                CacheStore::new(ByteSize::from_bytes(256 * 100), policy(name));
+            let mut store = CacheStore::new(ByteSize::from_bytes(256 * 100), policy(name));
             let mut i = 0usize;
             let mut t = 0u64;
             b.iter(|| {

@@ -15,8 +15,8 @@
 //!   and GreedyDual-Size under bounded disks.
 
 use cache_clouds::{
-    replay_beacon_loads, CapacityConfig, CloudConfig, EdgeNetworkSim, HashingScheme,
-    MultiCloudSim, PlacementScheme, ReplacementKind,
+    replay_beacon_loads, CapacityConfig, CloudConfig, EdgeNetworkSim, HashingScheme, MultiCloudSim,
+    PlacementScheme, ReplacementKind,
 };
 use cachecloud_metrics::report::{fmt_f64, Table};
 use cachecloud_metrics::Summary;
@@ -75,8 +75,7 @@ pub fn consistent_hashing(scale: &Scale) -> ConsistentResult {
     let mut rows = Vec::new();
     let mut measure = |label: String, scheme: HashingScheme| {
         let mut assigner = scheme.build(caches).expect("valid scheme");
-        let hops =
-            assigner.discovery_hops(&cachecloud_types::DocId::from_url("/probe"));
+        let hops = assigner.discovery_hops(&cachecloud_types::DocId::from_url("/probe"));
         let rep = replay_beacon_loads(&tr, assigner.as_mut(), cycle, 1);
         let s = Summary::of(&rep.loads_per_unit);
         rows.push(ConsistentRow {
@@ -410,7 +409,13 @@ impl ReplacementResult {
 
     /// Renders the table.
     pub fn print(&self) -> String {
-        let mut t = Table::new(["policy", "local hit", "cloud hit", "evictions/cache", "MB/u"]);
+        let mut t = Table::new([
+            "policy",
+            "local hit",
+            "cloud hit",
+            "evictions/cache",
+            "MB/u",
+        ]);
         for r in &self.rows {
             t.push_row(vec![
                 r.policy.clone(),
@@ -516,7 +521,13 @@ impl ConsistencyResult {
 
     /// Renders the table.
     pub fn print(&self) -> String {
-        let mut t = Table::new(["consistency", "stale", "revalidations", "deliveries", "MB/u"]);
+        let mut t = Table::new([
+            "consistency",
+            "stale",
+            "revalidations",
+            "deliveries",
+            "MB/u",
+        ]);
         for r in &self.rows {
             t.push_row(vec![
                 r.label.clone(),
@@ -628,9 +639,9 @@ impl FailureResult {
     pub fn shape_ok(&self) -> bool {
         let stat = &self.rows[0];
         !stat.absorbed
-            && self.rows[1..].iter().all(|r| {
-                r.absorbed && r.reassigned_fraction > 0.0 && r.reassigned_fraction < 0.3
-            })
+            && self.rows[1..]
+                .iter()
+                .all(|r| r.absorbed && r.reassigned_fraction > 0.0 && r.reassigned_fraction < 0.3)
     }
 
     /// Renders the table.

@@ -10,8 +10,8 @@
 
 use std::path::PathBuf;
 
-use cachecloud_bench::{ablations, figures};
 use cachecloud_bench::Scale;
+use cachecloud_bench::{ablations, figures};
 use serde::Serialize;
 
 fn write_json<T: Serialize>(dir: &PathBuf, name: &str, value: &T) {
@@ -60,9 +60,7 @@ fn main() {
                 );
                 return;
             }
-            f if f.starts_with("fig") || f.starts_with("ablation") => {
-                figs.push(f.to_string())
-            }
+            f if f.starts_with("fig") || f.starts_with("ablation") => figs.push(f.to_string()),
             other => {
                 eprintln!("unknown argument `{other}` (try --help)");
                 std::process::exit(2);
@@ -71,9 +69,19 @@ fn main() {
     }
     if figs.is_empty() {
         figs = [
-            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9",
-            "ablation-consistent", "ablation-weights", "ablation-multicloud",
-            "ablation-replacement", "ablation-failure", "ablation-consistency",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig9",
+            "ablation-consistent",
+            "ablation-weights",
+            "ablation-multicloud",
+            "ablation-replacement",
+            "ablation-failure",
+            "ablation-consistency",
         ]
         .iter()
         .map(|s| s.to_string())

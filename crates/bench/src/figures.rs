@@ -99,11 +99,7 @@ pub fn fig2() -> Fig2Result {
     let replay = |ranges: &[SubRange]| -> Vec<f64> {
         ranges
             .iter()
-            .map(|r| {
-                (r.min()..=r.max())
-                    .map(|v| loads[v as usize])
-                    .sum::<f64>()
-            })
+            .map(|r| (r.min()..=r.max()).map(|v| loads[v as usize]).sum::<f64>())
             .collect()
     };
     let (complete, _) = determine_subranges(&points(true), 10);
@@ -141,7 +137,10 @@ impl Fig2Result {
             format!("{:?}", self.approximate_loads),
             "(0,3)/(4,9) -> 440/360".into(),
         ]);
-        format!("Figure 2 — sub-range determination worked example\n{}", t.render())
+        format!(
+            "Figure 2 — sub-range determination worked example\n{}",
+            t.render()
+        )
     }
 }
 
@@ -226,8 +225,7 @@ impl LoadDistResult {
     /// Dynamic hashing must flatten the distribution: lower max/mean and
     /// lower CoV than static hashing.
     pub fn shape_ok(&self) -> bool {
-        self.dynamic_max_over_mean < self.static_max_over_mean
-            && self.dynamic_cov < self.static_cov
+        self.dynamic_max_over_mean < self.static_max_over_mean && self.dynamic_cov < self.static_cov
     }
 
     /// Renders the figure.
@@ -320,7 +318,13 @@ impl Fig5Result {
 
     /// Renders the figure.
     pub fn print(&self) -> String {
-        let mut t = Table::new(["caches", "static", "dyn 2/ring", "dyn 5/ring", "dyn 10/ring"]);
+        let mut t = Table::new([
+            "caches",
+            "static",
+            "dyn 2/ring",
+            "dyn 5/ring",
+            "dyn 10/ring",
+        ]);
         for r in &self.rows {
             t.push_row(vec![
                 r.caches.to_string(),

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use cachecloud_hashing::subrange::{determine_subranges, PointLoad, SubRange};
+use cachecloud_metrics::telemetry::NodeStats;
 use cachecloud_types::{CacheCloudError, CacheId, Capability};
 use parking_lot::RwLock;
 
@@ -129,7 +130,12 @@ impl CloudClient {
             .peers
             .get(via as usize)
             .ok_or(CacheCloudError::UnknownCache(CacheId(via as usize)))?;
-        match rpc(*addr, &Request::Serve { url: url.to_owned() })? {
+        match rpc(
+            *addr,
+            &Request::Serve {
+                url: url.to_owned(),
+            },
+        )? {
             Response::Document { version, body } => Ok(Some((body.to_vec(), version))),
             Response::NotFound => Ok(None),
             Response::Error { message } => Err(CacheCloudError::Protocol(message)),
@@ -165,26 +171,38 @@ impl CloudClient {
         expect_ok(resp)
     }
 
-    /// Reads one node's statistics: `(resident, directory_records, hits,
-    /// misses)`.
+    /// Scrapes one node's full telemetry snapshot: lifecycle counters
+    /// (keyed by the shared `EventKind` vocabulary), latency histograms,
+    /// resident-document and directory-record gauges.
     ///
     /// # Errors
     ///
     /// Propagates transport and protocol errors.
-    pub fn stats(&self, node: u32) -> Result<(u64, u64, u64, u64), CacheCloudError> {
+    pub fn stats(&self, node: u32) -> Result<NodeStats, CacheCloudError> {
         let addr = self
             .peers
             .get(node as usize)
             .ok_or(CacheCloudError::UnknownCache(CacheId(node as usize)))?;
         match rpc(*addr, &Request::Stats)? {
-            Response::Stats {
-                resident,
-                directory_records,
-                hits,
-                misses,
-            } => Ok((resident, directory_records, hits, misses)),
+            Response::Stats { stats } => Ok(stats),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Scrapes every node and folds the snapshots into one cloud-wide
+    /// aggregate: counters add by name, histograms merge bucket-by-bucket,
+    /// and the gauges sum. The aggregate's `node` field is the node count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors from any node.
+    pub fn cloud_stats(&self) -> Result<NodeStats, CacheCloudError> {
+        let mut total = NodeStats::default();
+        for node in 0..self.peers.len() as u32 {
+            total.merge(&self.stats(node)?);
+        }
+        total.node = self.peers.len() as u32;
+        Ok(total)
     }
 
     /// Liveness probe of one node.

@@ -96,6 +96,16 @@ impl LocalCluster {
         CloudClient::new(self.peers.clone()).expect("cluster is non-empty")
     }
 
+    /// The cloud-wide telemetry aggregate: every node's counters and
+    /// latency histograms folded together (see `CloudClient::cloud_stats`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors from any node.
+    pub fn cloud_stats(&self) -> Result<cachecloud_metrics::telemetry::NodeStats, CacheCloudError> {
+        self.client().cloud_stats()
+    }
+
     /// Stops every node and joins their threads.
     pub fn shutdown(self) {
         for node in self.nodes {
@@ -136,11 +146,18 @@ mod tests {
         let other = (beacon + 1) % 4;
         let (body, _) = client.fetch_via(other, "/doc").unwrap().expect("served");
         assert_eq!(body, b"payload");
-        // The serving node stored a copy: second fetch is a local hit.
-        let (_, _, hits_before, _) = client.stats(other).unwrap();
+        // The first fetch was a cloud hit (peer fetch); the stored copy
+        // makes the second fetch a local hit.
+        let before = client.stats(other).unwrap();
+        assert_eq!(before.counter("cloud_hits"), 1);
+        assert_eq!(before.counter("peer_fetches"), 1);
         client.fetch_via(other, "/doc").unwrap().expect("served");
-        let (_, _, hits_after, _) = client.stats(other).unwrap();
-        assert_eq!(hits_after, hits_before + 1);
+        let after = client.stats(other).unwrap();
+        assert_eq!(
+            after.counter("local_hits"),
+            before.counter("local_hits") + 1
+        );
+        assert_eq!(after.counter("requests"), before.counter("requests") + 1);
         cluster.shutdown();
     }
 
@@ -172,9 +189,12 @@ mod tests {
         assert!(client.ping(9).is_err());
         client.publish("/s", vec![1, 2, 3], 1).unwrap();
         let beacon = client.beacon_of("/s");
-        let (resident, records, _, _) = client.stats(beacon).unwrap();
-        assert_eq!(resident, 1);
-        assert_eq!(records, 1);
+        let stats = client.stats(beacon).unwrap();
+        assert_eq!(stats.node, beacon);
+        assert_eq!(stats.resident, 1);
+        assert_eq!(stats.directory_records, 1);
+        assert_eq!(stats.counter("stores"), 1);
+        assert_eq!(stats.counter("registrations"), 1);
         cluster.shutdown();
     }
 
@@ -182,8 +202,7 @@ mod tests {
     fn bounded_nodes_evict_and_deregister() {
         // Tiny stores: publishing a second document evicts the first at its
         // holder and removes the directory record.
-        let cluster =
-            LocalCluster::spawn_with_capacity(2, ByteSize::from_bytes(8)).unwrap();
+        let cluster = LocalCluster::spawn_with_capacity(2, ByteSize::from_bytes(8)).unwrap();
         let client = cluster.client();
         // Find two URLs with the same beacon so they contend for one store.
         let mut urls = Vec::new();
@@ -199,8 +218,10 @@ mod tests {
         let [a, b]: [String; 2] = urls.try_into().expect("found two node-0 urls");
         client.publish(&a, vec![1u8; 6], 1).unwrap();
         client.publish(&b, vec![2u8; 6], 1).unwrap();
-        let (resident, _, _, _) = client.stats(0).unwrap();
-        assert_eq!(resident, 1, "capacity 8 holds only one 6-byte body");
+        let stats = client.stats(0).unwrap();
+        assert_eq!(stats.resident, 1, "capacity 8 holds only one 6-byte body");
+        assert_eq!(stats.counter("evictions"), 1);
+        assert_eq!(stats.counter("unregistrations"), 1);
         // The evicted document is gone from the cloud entirely.
         assert!(client.fetch(&a).unwrap().is_none());
         assert!(client.fetch(&b).unwrap().is_some());

@@ -39,6 +39,7 @@ pub mod node;
 pub mod route;
 pub mod wire;
 
+pub use cachecloud_metrics::telemetry::{Event, EventKind, EventSink, NodeStats};
 pub use client::CloudClient;
 pub use cluster::LocalCluster;
 pub use node::{CacheNode, NodeConfig};

@@ -12,11 +12,15 @@
 use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::Bytes;
+use cachecloud_metrics::telemetry::{
+    AtomicHistogram, Counter, Event, EventKind, EventLog, EventSink, NodeStats, Registry,
+};
 use cachecloud_storage::{CacheStore, LruPolicy};
 use cachecloud_types::{ByteSize, CacheCloudError, DocId, SimTime, Version};
 use parking_lot::{Mutex, RwLock};
@@ -74,6 +78,83 @@ struct DirEntry {
     holders: HashSet<u32>,
 }
 
+/// Pre-resolved lock-free telemetry handles for one node: request-lifecycle
+/// counters keyed by the shared [`EventKind`] vocabulary, two latency
+/// histograms, and the structured event log.
+#[derive(Debug)]
+struct NodeTelemetry {
+    registry: Registry,
+    /// Wall-clock epoch; event timestamps are microseconds since node start.
+    epoch: Instant,
+    events: EventLog,
+    requests: Counter,
+    local_hits: Counter,
+    cloud_hits: Counter,
+    origin_fetches: Counter,
+    beacon_lookups: Counter,
+    peer_fetches: Counter,
+    peer_fetch_failures: Counter,
+    stores: Counter,
+    evictions: Counter,
+    registrations: Counter,
+    unregistrations: Counter,
+    updates_propagated: Counter,
+    updates_skipped: Counter,
+    update_deliveries: Counter,
+    handoff_records: Counter,
+    rpc_errors: Counter,
+    /// Outgoing peer-RPC latency in milliseconds.
+    rpc_ms: Arc<AtomicHistogram>,
+    /// End-to-end `Serve` handling latency in milliseconds.
+    serve_ms: Arc<AtomicHistogram>,
+}
+
+impl NodeTelemetry {
+    fn new(sinks: Vec<Arc<dyn EventSink>>) -> Self {
+        let registry = Registry::new();
+        let c = |k: EventKind| registry.counter(k.as_str());
+        let mut events = EventLog::new();
+        for sink in sinks {
+            events.attach(sink);
+        }
+        NodeTelemetry {
+            requests: c(EventKind::Request),
+            local_hits: c(EventKind::LocalHit),
+            cloud_hits: c(EventKind::CloudHit),
+            origin_fetches: c(EventKind::OriginFetch),
+            beacon_lookups: c(EventKind::BeaconLookup),
+            peer_fetches: c(EventKind::PeerFetch),
+            peer_fetch_failures: c(EventKind::PeerFetchFailure),
+            stores: c(EventKind::Store),
+            evictions: c(EventKind::Eviction),
+            registrations: c(EventKind::Registration),
+            unregistrations: c(EventKind::Unregistration),
+            updates_propagated: c(EventKind::UpdatePropagated),
+            updates_skipped: c(EventKind::UpdateSkipped),
+            update_deliveries: c(EventKind::UpdateDelivery),
+            handoff_records: c(EventKind::HandoffRecord),
+            rpc_errors: c(EventKind::RpcError),
+            rpc_ms: registry.histogram("rpc_ms", 0.0, 250.0, 50),
+            serve_ms: registry.histogram("serve_ms", 0.0, 250.0, 50),
+            epoch: Instant::now(),
+            events,
+            registry,
+        }
+    }
+
+    /// Emits a structured lifecycle event (no-op with no sinks attached).
+    fn emit(&self, node: u32, kind: EventKind, url: Option<&str>) {
+        if self.events.is_active() {
+            let ts = self.epoch.elapsed().as_micros() as u64;
+            let mut ev = Event::new(ts, node, kind);
+            if let Some(url) = url {
+                ev = ev.url(url);
+            }
+            self.events.emit(&ev);
+        }
+    }
+}
+
 /// Shared node state.
 #[derive(Debug)]
 struct State {
@@ -87,8 +168,8 @@ struct State {
     table: RwLock<RouteTable>,
     /// Per-(ring, IrH) beacon load handled this cycle.
     loads: Mutex<HashMap<(u32, u64), f64>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Lifecycle counters, latency histograms and the event log.
+    telemetry: NodeTelemetry,
     shutdown: AtomicBool,
 }
 
@@ -103,6 +184,20 @@ impl State {
         let key = (table.ring_of(&doc) as u32, table.irh_of(&doc));
         drop(table);
         *self.loads.lock().entry(key).or_insert(0.0) += 1.0;
+    }
+
+    /// One peer RPC with latency recorded in `rpc_ms` and failures counted
+    /// under `rpc_errors`.
+    fn rpc(&self, addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
+        let t0 = Instant::now();
+        let out = rpc(addr, req);
+        self.telemetry
+            .rpc_ms
+            .record(t0.elapsed().as_secs_f64() * 1e3);
+        if out.is_err() {
+            self.telemetry.rpc_errors.inc();
+        }
+        out
     }
 }
 
@@ -141,20 +236,31 @@ impl CacheNode {
     ///
     /// Propagates socket errors.
     pub fn start_on(config: NodeConfig, listener: TcpListener) -> Result<Self, CacheCloudError> {
+        Self::start_on_with_sinks(config, listener, Vec::new())
+    }
+
+    /// Like [`CacheNode::start_on`], but with structured-event sinks
+    /// attached: every request-lifecycle step the node observes is emitted
+    /// as a telemetry [`Event`] to each sink. With an empty sink list the
+    /// event path compiles down to a flag check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start_on_with_sinks(
+        config: NodeConfig,
+        listener: TcpListener,
+        sinks: Vec<Arc<dyn EventSink>>,
+    ) -> Result<Self, CacheCloudError> {
         let addr = listener.local_addr()?;
-        let table = RouteTable::initial(
-            config.peers.len(),
-            config.points_per_ring,
-            config.irh_gen,
-        );
+        let table = RouteTable::initial(config.peers.len(), config.points_per_ring, config.irh_gen);
         let state = Arc::new(State {
             bodies: Mutex::new(HashMap::new()),
             store: Mutex::new(CacheStore::new(config.capacity, Box::new(LruPolicy::new()))),
             directory: Mutex::new(HashMap::new()),
             table: RwLock::new(table),
             loads: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            telemetry: NodeTelemetry::new(sinks),
             shutdown: AtomicBool::new(false),
         });
         let thread_state = Arc::clone(&state);
@@ -243,17 +349,24 @@ fn serve_connection(
 fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
     match req {
         Request::Ping => Response::Pong,
-        Request::Stats => Response::Stats {
-            resident: state.store.lock().len() as u64,
-            directory_records: state
+        Request::Stats => {
+            let resident = state.store.lock().len() as u64;
+            let directory_records = state
                 .directory
                 .lock()
                 .values()
                 .map(|e| e.holders.len() as u64)
-                .sum(),
-            hits: state.hits.load(Ordering::Relaxed),
-            misses: state.misses.load(Ordering::Relaxed),
-        },
+                .sum();
+            Response::Stats {
+                stats: NodeStats {
+                    node: config.id,
+                    resident,
+                    directory_records,
+                    counters: state.telemetry.registry.snapshot_counters(),
+                    histograms: state.telemetry.registry.snapshot_histograms(),
+                },
+            }
+        }
         Request::Lookup { url } => {
             state.note_beacon_load(&url);
             let dir = state.directory.lock();
@@ -273,6 +386,10 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
             }
         }
         Request::Register { url, holder } => {
+            state.telemetry.registrations.inc();
+            state
+                .telemetry
+                .emit(config.id, EventKind::Registration, Some(&url));
             state
                 .directory
                 .lock()
@@ -283,6 +400,10 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
             Response::Ok
         }
         Request::Unregister { url, holder } => {
+            state.telemetry.unregistrations.inc();
+            state
+                .telemetry
+                .emit(config.id, EventKind::Unregistration, Some(&url));
             let mut dir = state.directory.lock();
             if let Some(entry) = dir.get_mut(&url) {
                 entry.holders.remove(&holder);
@@ -293,20 +414,22 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
             Response::Ok
         }
         Request::Get { url } => match state.bodies.lock().get(&url) {
-            Some(body) => {
-                state.hits.fetch_add(1, Ordering::Relaxed);
-                Response::Document {
-                    version: body.version,
-                    body: body.data.clone(),
-                }
-            }
-            None => {
-                state.misses.fetch_add(1, Ordering::Relaxed);
-                Response::NotFound
-            }
+            Some(body) => Response::Document {
+                version: body.version,
+                body: body.data.clone(),
+            },
+            None => Response::NotFound,
         },
         Request::Put { url, version, body } => put_local(state, config, url, version, body),
-        Request::Serve { url } => serve_cooperative(state, config, url),
+        Request::Serve { url } => {
+            let t0 = Instant::now();
+            let resp = serve_cooperative(state, config, url);
+            state
+                .telemetry
+                .serve_ms
+                .record(t0.elapsed().as_secs_f64() * 1e3);
+            resp
+        }
         Request::Update { url, version, body } => {
             state.note_beacon_load(&url);
             // This node is (expected to be) the beacon: deliver the new
@@ -319,11 +442,23 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
                 }
                 entry.holders.iter().copied().collect()
             };
+            if holders.is_empty() {
+                state.telemetry.updates_skipped.inc();
+                state
+                    .telemetry
+                    .emit(config.id, EventKind::UpdateSkipped, Some(&url));
+            } else {
+                state.telemetry.updates_propagated.inc();
+                state.telemetry.update_deliveries.add(holders.len() as u64);
+                state
+                    .telemetry
+                    .emit(config.id, EventKind::UpdatePropagated, Some(&url));
+            }
             for h in holders {
                 if h == config.id {
                     put_local(state, config, url.clone(), version, body.clone());
                 } else if let Some(addr) = config.peers.get(h as usize) {
-                    let _ = rpc(
+                    let _ = state.rpc(
                         *addr,
                         &Request::Put {
                             url: url.clone(),
@@ -375,7 +510,7 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
             for (url, entry) in to_move {
                 let new_owner = table.beacon_of_url(&url);
                 if let Some(addr) = config.peers.get(new_owner as usize) {
-                    let _ = rpc(
+                    let _ = state.rpc(
                         *addr,
                         &Request::Adopt {
                             url,
@@ -392,6 +527,13 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
             version,
             holders,
         } => {
+            state
+                .telemetry
+                .handoff_records
+                .add(holders.len().max(1) as u64);
+            state
+                .telemetry
+                .emit(config.id, EventKind::HandoffRecord, Some(&url));
             let mut dir = state.directory.lock();
             let entry = dir.entry(url).or_default();
             entry.version = entry.version.max(version);
@@ -427,10 +569,24 @@ fn put_local(
         for victim in &evicted {
             bodies.remove(victim.url());
         }
-        bodies.insert(url.clone(), Body { version, data: body });
+        bodies.insert(
+            url.clone(),
+            Body {
+                version,
+                data: body,
+            },
+        );
     }
+    state.telemetry.stores.inc();
+    state
+        .telemetry
+        .emit(config.id, EventKind::Store, Some(&url));
     // Deregister evicted copies at their beacon points.
     for victim in evicted {
+        state.telemetry.evictions.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::Eviction, Some(victim.url()));
         let b = state.beacon_of(victim.url());
         let req = Request::Unregister {
             url: victim.url().to_owned(),
@@ -439,7 +595,7 @@ fn put_local(
         if b == config.id {
             let _ = handle(req, state, config);
         } else if let Some(addr) = config.peers.get(b as usize) {
-            let _ = rpc(*addr, &req);
+            let _ = state.rpc(*addr, &req);
         }
     }
     // Register this copy at the document's beacon.
@@ -451,7 +607,7 @@ fn put_local(
     if b == config.id {
         handle(reg, state, config)
     } else if let Some(addr) = config.peers.get(b as usize) {
-        match rpc(*addr, &reg) {
+        match state.rpc(*addr, &reg) {
             Ok(r) => r,
             Err(e) => Response::Error {
                 message: e.to_string(),
@@ -466,23 +622,34 @@ fn put_local(
 
 /// The full cooperative read path.
 fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Response {
+    state.telemetry.requests.inc();
+    state
+        .telemetry
+        .emit(config.id, EventKind::Request, Some(&url));
+
     // 1. Local store.
     if let Some(body) = state.bodies.lock().get(&url) {
-        state.hits.fetch_add(1, Ordering::Relaxed);
+        state.telemetry.local_hits.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::LocalHit, Some(&url));
         return Response::Document {
             version: body.version,
             body: body.data.clone(),
         };
     }
-    state.misses.fetch_add(1, Ordering::Relaxed);
 
     // 2. Beacon lookup.
+    state.telemetry.beacon_lookups.inc();
+    state
+        .telemetry
+        .emit(config.id, EventKind::BeaconLookup, Some(&url));
     let b = state.beacon_of(&url);
     let lookup = Request::Lookup { url: url.clone() };
     let holders = if b == config.id {
         handle(lookup, state, config)
     } else {
-        match config.peers.get(b as usize).map(|a| rpc(*a, &lookup)) {
+        match config.peers.get(b as usize).map(|a| state.rpc(*a, &lookup)) {
             Some(Ok(r)) => r,
             _ => {
                 return Response::Error {
@@ -505,18 +672,45 @@ fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Respons
         let Some(addr) = config.peers.get(h as usize) else {
             continue;
         };
+        state.telemetry.peer_fetches.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::PeerFetch, Some(&url));
         if let Ok(Response::Document { version, body }) =
-            rpc(*addr, &Request::Get { url: url.clone() })
+            state.rpc(*addr, &Request::Get { url: url.clone() })
         {
+            state.telemetry.cloud_hits.inc();
+            state
+                .telemetry
+                .emit(config.id, EventKind::CloudHit, Some(&url));
             put_local(state, config, url.clone(), version, body.clone());
             return Response::Document { version, body };
         }
+        state.telemetry.peer_fetch_failures.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::PeerFetchFailure, Some(&url));
     }
+
+    // No cached copy anywhere: the client will fall through to the origin.
+    state.telemetry.origin_fetches.inc();
+    state
+        .telemetry
+        .emit(config.id, EventKind::OriginFetch, Some(&url));
     Response::NotFound
 }
 
-/// One blocking request/response exchange with a peer.
+/// One blocking request/response exchange with a peer. Failures carry the
+/// peer's address so cooperative-path errors name the node that caused them.
 pub(crate) fn rpc(addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
+    rpc_inner(addr, req).map_err(|e| match e {
+        CacheCloudError::Io(m) => CacheCloudError::Io(format!("peer {addr}: {m}")),
+        CacheCloudError::Protocol(m) => CacheCloudError::Protocol(format!("peer {addr}: {m}")),
+        other => other,
+    })
+}
+
+fn rpc_inner(addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);

@@ -58,8 +58,9 @@ impl RouteTable {
             .map(|r| {
                 // Ring r holds nodes r, r + R, r + 2R, … (round-robin, like
                 // the simulator's DynamicHashing).
-                let members: Vec<u32> =
-                    (0..points_per_ring).map(|k| (r + k * num_rings) as u32).collect();
+                let members: Vec<u32> = (0..points_per_ring)
+                    .map(|k| (r + k * num_rings) as u32)
+                    .collect();
                 let base = irh_gen / points_per_ring as u64;
                 let extra = irh_gen % points_per_ring as u64;
                 let mut lo = 0u64;

@@ -7,6 +7,7 @@
 use std::io::{Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cachecloud_metrics::telemetry::{HistogramSnapshot, NodeStats};
 use cachecloud_types::CacheCloudError;
 
 /// Frames larger than this are rejected (corrupt or hostile peers).
@@ -112,16 +113,11 @@ pub enum Response {
     },
     /// The document is not available.
     NotFound,
-    /// Node statistics.
+    /// Node statistics: the full telemetry snapshot (lifecycle counters and
+    /// latency histograms) scraped from one node.
     Stats {
-        /// Documents resident in the local store.
-        resident: u64,
-        /// Directory records this node maintains as a beacon.
-        directory_records: u64,
-        /// Local store hits served.
-        hits: u64,
-        /// Local misses seen.
-        misses: u64,
+        /// The node's telemetry snapshot.
+        stats: NodeStats,
     },
     /// A protocol-level failure.
     Error {
@@ -179,6 +175,94 @@ fn take_u32(buf: &mut Bytes) -> Result<u32, CacheCloudError> {
         return Err(CacheCloudError::Protocol("truncated u32".into()));
     }
     Ok(buf.get_u32())
+}
+
+fn take_f64(buf: &mut Bytes) -> Result<f64, CacheCloudError> {
+    Ok(f64::from_bits(take_u64(buf)?))
+}
+
+/// Bounds-checks a decoded element count before a `Vec::with_capacity`, so a
+/// hostile length prefix cannot force a huge allocation.
+fn checked_len(n: usize, elem_size: usize, what: &str) -> Result<usize, CacheCloudError> {
+    if n > MAX_FRAME / elem_size {
+        return Err(CacheCloudError::Protocol(format!("{what} list too long")));
+    }
+    Ok(n)
+}
+
+fn put_histogram(buf: &mut BytesMut, h: &HistogramSnapshot) {
+    buf.put_u64(h.lo.to_bits());
+    buf.put_u64(h.hi.to_bits());
+    buf.put_u32(h.buckets.len() as u32);
+    for b in &h.buckets {
+        buf.put_u64(*b);
+    }
+    buf.put_u64(h.underflow);
+    buf.put_u64(h.overflow);
+    buf.put_u64(h.count);
+    buf.put_u64(h.sum.to_bits());
+}
+
+fn take_histogram(buf: &mut Bytes) -> Result<HistogramSnapshot, CacheCloudError> {
+    let lo = take_f64(buf)?;
+    let hi = take_f64(buf)?;
+    let n = checked_len(take_u32(buf)? as usize, 8, "histogram bucket")?;
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(take_u64(buf)?);
+    }
+    Ok(HistogramSnapshot {
+        lo,
+        hi,
+        buckets,
+        underflow: take_u64(buf)?,
+        overflow: take_u64(buf)?,
+        count: take_u64(buf)?,
+        sum: take_f64(buf)?,
+    })
+}
+
+fn put_node_stats(buf: &mut BytesMut, s: &NodeStats) {
+    buf.put_u32(s.node);
+    buf.put_u64(s.resident);
+    buf.put_u64(s.directory_records);
+    buf.put_u32(s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        put_str(buf, name);
+        buf.put_u64(*v);
+    }
+    buf.put_u32(s.histograms.len() as u32);
+    for (name, h) in &s.histograms {
+        put_str(buf, name);
+        put_histogram(buf, h);
+    }
+}
+
+fn take_node_stats(buf: &mut Bytes) -> Result<NodeStats, CacheCloudError> {
+    let node = take_u32(buf)?;
+    let resident = take_u64(buf)?;
+    let directory_records = take_u64(buf)?;
+    let n = checked_len(take_u32(buf)? as usize, 12, "counter")?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = take_str(buf)?;
+        let v = take_u64(buf)?;
+        counters.push((name, v));
+    }
+    let n = checked_len(take_u32(buf)? as usize, 52, "histogram")?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = take_str(buf)?;
+        let h = take_histogram(buf)?;
+        histograms.push((name, h));
+    }
+    Ok(NodeStats {
+        node,
+        resident,
+        directory_records,
+        counters,
+        histograms,
+    })
 }
 
 impl Request {
@@ -344,17 +428,9 @@ impl Response {
                 put_bytes(&mut b, body);
             }
             Response::NotFound => b.put_u8(4),
-            Response::Stats {
-                resident,
-                directory_records,
-                hits,
-                misses,
-            } => {
+            Response::Stats { stats } => {
                 b.put_u8(5);
-                b.put_u64(*resident);
-                b.put_u64(*directory_records);
-                b.put_u64(*hits);
-                b.put_u64(*misses);
+                put_node_stats(&mut b, stats);
             }
             Response::Error { message } => {
                 b.put_u8(6);
@@ -411,10 +487,7 @@ impl Response {
             },
             4 => Response::NotFound,
             5 => Response::Stats {
-                resident: take_u64(&mut buf)?,
-                directory_records: take_u64(&mut buf)?,
-                hits: take_u64(&mut buf)?,
-                misses: take_u64(&mut buf)?,
+                stats: take_node_stats(&mut buf)?,
             },
             6 => Response::Error {
                 message: take_str(&mut buf)?,
@@ -562,10 +635,27 @@ mod tests {
         });
         roundtrip_response(Response::NotFound);
         roundtrip_response(Response::Stats {
-            resident: 1,
-            directory_records: 2,
-            hits: 3,
-            misses: 4,
+            stats: NodeStats {
+                node: 7,
+                resident: 1,
+                directory_records: 2,
+                counters: vec![("local_hits".into(), 3), ("requests".into(), 9)],
+                histograms: vec![(
+                    "rpc_ms".into(),
+                    HistogramSnapshot {
+                        lo: 0.0,
+                        hi: 250.0,
+                        buckets: vec![4, 0, 1],
+                        underflow: 0,
+                        overflow: 2,
+                        count: 7,
+                        sum: 123.5,
+                    },
+                )],
+            },
+        });
+        roundtrip_response(Response::Stats {
+            stats: NodeStats::default(),
         });
         roundtrip_response(Response::Error {
             message: "boom".into(),
@@ -593,6 +683,54 @@ mod tests {
         buf.put_slice(&Request::Ping.encode());
         buf.put_u8(0xFF);
         assert!(Request::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn stats_decode_rejects_truncation_and_garbage() {
+        let stats = NodeStats {
+            node: 3,
+            resident: 10,
+            directory_records: 4,
+            counters: vec![("requests".into(), 11)],
+            histograms: vec![(
+                "serve_ms".into(),
+                HistogramSnapshot {
+                    lo: 0.0,
+                    hi: 100.0,
+                    buckets: vec![1, 2],
+                    underflow: 0,
+                    overflow: 0,
+                    count: 3,
+                    sum: 42.0,
+                },
+            )],
+        };
+        let full = Response::Stats {
+            stats: stats.clone(),
+        }
+        .encode();
+        // Every strict prefix must be rejected, never panic or mis-decode.
+        for cut in 1..full.len() {
+            assert!(
+                Response::decode(full.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage after a complete Stats body.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&full);
+        buf.put_u8(0);
+        assert!(Response::decode(buf.freeze()).is_err());
+        // A hostile counter count must not force a huge allocation.
+        let mut buf = BytesMut::new();
+        buf.put_u8(5);
+        buf.put_u32(3);
+        buf.put_u64(0);
+        buf.put_u64(0);
+        buf.put_u32(u32::MAX);
+        assert!(Response::decode(buf.freeze()).is_err());
+        // Sanity: the untouched encoding still decodes.
+        assert_eq!(Response::decode(full).unwrap(), Response::Stats { stats });
     }
 
     #[test]

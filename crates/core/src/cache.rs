@@ -100,11 +100,7 @@ impl EdgeCache {
 
     /// Records an incoming client request for `doc` and returns whether it
     /// was a local hit.
-    pub fn record_request(
-        &mut self,
-        doc: &cachecloud_types::DocId,
-        now: SimTime,
-    ) -> bool {
+    pub fn record_request(&mut self, doc: &cachecloud_types::DocId, now: SimTime) -> bool {
         self.requests += 1;
         self.monitor.record(doc, now);
         self.aggregate.record(now);

@@ -204,8 +204,12 @@ impl CacheCloud {
                         self.traffic
                             .record(now, MessageKind::DocTransfer, doc.size, false);
                     } else {
-                        self.traffic
-                            .record(now, MessageKind::LookupResponse, ByteSize::ZERO, false);
+                        self.traffic.record(
+                            now,
+                            MessageKind::LookupResponse,
+                            ByteSize::ZERO,
+                            false,
+                        );
                     }
                     latency += self.config.latency.sample_to_origin(&mut self.rng) * 2;
                     self.caches[cache.index()]
@@ -279,7 +283,8 @@ impl CacheCloud {
             prior_access_rate,
             now,
         );
-        if self.placement.should_store(&ctx) && self.store_copy(doc, cache, beacon, cached_version, now)
+        if self.placement.should_store(&ctx)
+            && self.store_copy(doc, cache, beacon, cached_version, now)
         {
             self.stats.stores += 1;
         } else {
@@ -358,12 +363,7 @@ impl CacheCloud {
     /// this cloud, which delivers it to every current holder (paper §2.2's
     /// update protocol). Unless `always_notify` is configured, clouds
     /// holding no copy are skipped.
-    pub fn handle_update(
-        &mut self,
-        doc: &DocumentSpec,
-        version: Version,
-        now: SimTime,
-    ) {
+    pub fn handle_update(&mut self, doc: &DocumentSpec, version: Version, now: SimTime) {
         if matches!(self.config.consistency, ConsistencyModel::Ttl(_)) {
             // TTL consistency: the origin never contacts the caches; copies
             // age out and revalidate on access.
@@ -460,10 +460,7 @@ impl CacheCloud {
 
     /// Whether `cache` has been failed.
     pub fn is_failed(&self, cache: CacheId) -> bool {
-        self.failed
-            .get(cache.index())
-            .copied()
-            .unwrap_or(false)
+        self.failed.get(cache.index()).copied().unwrap_or(false)
     }
 
     /// Identifiers of currently live caches.
@@ -561,7 +558,13 @@ mod tests {
             );
         }
         // Non-beacon requests after the beacon stored are cloud hits.
-        cloud.handle_request(&d, CacheId((beacon.index() + 1) % 4), Version(1), 0.0, t(10));
+        cloud.handle_request(
+            &d,
+            CacheId((beacon.index() + 1) % 4),
+            Version(1),
+            0.0,
+            t(10),
+        );
         assert!(cloud.stats().cloud_hits >= 1);
     }
 
@@ -633,7 +636,11 @@ mod tests {
         let b = spec("/b", 1000);
         cloud.handle_request(&a, CacheId(0), Version(0), 0.0, t(1));
         cloud.handle_request(&b, CacheId(0), Version(0), 0.0, t(2));
-        assert_eq!(cloud.directory().copy_count(&a.id), 0, "evicted => unregistered");
+        assert_eq!(
+            cloud.directory().copy_count(&a.id),
+            0,
+            "evicted => unregistered"
+        );
         assert_eq!(cloud.directory().copy_count(&b.id), 1);
         assert_eq!(cloud.total_evictions(), 1);
     }

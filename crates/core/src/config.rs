@@ -10,9 +10,7 @@ use cachecloud_placement::{
 use cachecloud_storage::{
     FifoPolicy, GreedyDualSizePolicy, LfuPolicy, LruPolicy, ReplacementPolicy,
 };
-use cachecloud_types::{
-    ByteSize, CacheCloudError, CacheId, Capability, SimDuration,
-};
+use cachecloud_types::{ByteSize, CacheCloudError, CacheId, Capability, SimDuration};
 
 /// Which beacon-assignment scheme a cloud runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,10 +59,7 @@ impl HashingScheme {
     /// # Errors
     ///
     /// Propagates the scheme's own validation errors.
-    pub fn build(
-        &self,
-        num_caches: usize,
-    ) -> cachecloud_types::Result<Box<dyn BeaconAssigner>> {
+    pub fn build(&self, num_caches: usize) -> cachecloud_types::Result<Box<dyn BeaconAssigner>> {
         let ids: Vec<CacheId> = (0..num_caches).map(CacheId).collect();
         Ok(match self {
             HashingScheme::Static => Box::new(StaticHashing::new(ids)?),
@@ -78,7 +73,12 @@ impl HashingScheme {
             } => {
                 let caches: Vec<(CacheId, Capability)> =
                     ids.into_iter().map(|c| (c, Capability::UNIT)).collect();
-                Box::new(DynamicHashing::new(&caches, *layout, *irh_gen, *track_per_irh)?)
+                Box::new(DynamicHashing::new(
+                    &caches,
+                    *layout,
+                    *irh_gen,
+                    *track_per_irh,
+                )?)
             }
         })
     }
@@ -409,7 +409,9 @@ mod tests {
             ByteSize::UNLIMITED
         );
         assert_eq!(
-            CapacityConfig::FractionOfCorpus(0.25).resolve(corpus).unwrap(),
+            CapacityConfig::FractionOfCorpus(0.25)
+                .resolve(corpus)
+                .unwrap(),
             ByteSize::from_bytes(250)
         );
         assert_eq!(
@@ -418,9 +420,15 @@ mod tests {
                 .unwrap(),
             ByteSize::from_bytes(77)
         );
-        assert!(CapacityConfig::FractionOfCorpus(0.0).resolve(corpus).is_err());
-        assert!(CapacityConfig::FractionOfCorpus(-1.0).resolve(corpus).is_err());
-        assert!(CapacityConfig::Bytes(ByteSize::ZERO).resolve(corpus).is_err());
+        assert!(CapacityConfig::FractionOfCorpus(0.0)
+            .resolve(corpus)
+            .is_err());
+        assert!(CapacityConfig::FractionOfCorpus(-1.0)
+            .resolve(corpus)
+            .is_err());
+        assert!(CapacityConfig::Bytes(ByteSize::ZERO)
+            .resolve(corpus)
+            .is_err());
     }
 
     #[test]

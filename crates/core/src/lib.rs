@@ -51,6 +51,7 @@ pub mod config;
 pub mod directory;
 pub mod loadsim;
 pub mod multi;
+pub mod observer;
 pub mod origin;
 pub mod report;
 pub mod sim;
@@ -64,6 +65,7 @@ pub use config::{
 pub use directory::CloudDirectory;
 pub use loadsim::{replay_beacon_loads, BeaconLoadReport};
 pub use multi::{MultiCloudReport, MultiCloudSim};
+pub use observer::{CountingObserver, Observer, SinkObserver, CLOUD_NODE};
 pub use origin::OriginServer;
 pub use report::SimReport;
 pub use sim::EdgeNetworkSim;

@@ -48,8 +48,7 @@ impl MultiCloudReport {
         if self.origin_update_messages == 0 {
             1.0
         } else {
-            self.origin_update_messages_without_clouds as f64
-                / self.origin_update_messages as f64
+            self.origin_update_messages_without_clouds as f64 / self.origin_update_messages as f64
         }
     }
 }
@@ -104,9 +103,7 @@ impl MultiCloudSim {
                 if global >= total {
                     return Err(CacheCloudError::InvalidConfig {
                         param: "membership",
-                        reason: format!(
-                            "cache {global} is outside the trace's {total} caches"
-                        ),
+                        reason: format!("cache {global} is outside the trace's {total} caches"),
                     });
                 }
                 if assignment[global].is_some() {
@@ -172,9 +169,7 @@ impl MultiCloudSim {
                     let (cloud_idx, local) = self.assignment[cache.index()];
                     let version = self.origin.version(&spec.id);
                     let rate = self.origin.update_rate(&spec.id, event.at);
-                    self.clouds[cloud_idx].handle_request(
-                        spec, local, version, rate, event.at,
-                    );
+                    self.clouds[cloud_idx].handle_request(spec, local, version, rate, event.at);
                 }
                 TraceEventKind::Update => {
                     let version = self.origin.apply_update(&spec.id, event.at);
@@ -236,7 +231,9 @@ fn cloud_report(cloud: CacheCloud, minutes: f64, catalog: usize) -> SimReport {
         mean_latency_ms: cloud.mean_latency().as_secs_f64() * 1000.0,
         p50_latency_ms: cloud.latency_quantile_ms(0.5),
         p99_latency_ms: cloud.latency_quantile_ms(0.99),
-        traffic_mb_per_unit: cloud.traffic().mb_per_unit_time(minutes.ceil().max(1.0) as usize),
+        traffic_mb_per_unit: cloud
+            .traffic()
+            .mb_per_unit_time(minutes.ceil().max(1.0) as usize),
         intra_cloud_mb: cloud.traffic().intra_cloud_total().as_mb_f64(),
         wide_area_mb: cloud.traffic().wide_area_total().as_mb_f64(),
         docs_stored_per_cache: cloud.docs_stored_per_cache(),

@@ -1,0 +1,151 @@
+//! Observing simulator runs through the shared telemetry vocabulary.
+//!
+//! The live cluster (`cachecloud-cluster`) and the simulator report through
+//! the same [`EventKind`] vocabulary defined in `cachecloud_metrics`. An
+//! [`Observer`] attached to [`crate::EdgeNetworkSim`] receives one
+//! [`Event`] per protocol action — request lifecycle outcomes, update
+//! fan-outs, placement decisions, evictions, rebalancing cycles — stamped
+//! with simulated time, so a sim run can be traced with exactly the sinks
+//! and counters used against a live cloud, and its event totals can be
+//! cross-checked against the final [`crate::SimReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cache_clouds::{CloudConfig, CountingObserver, EdgeNetworkSim, PlacementScheme};
+//! use cachecloud_metrics::telemetry::EventKind;
+//! use cachecloud_workload::ZipfTraceBuilder;
+//!
+//! let trace = ZipfTraceBuilder::new()
+//!     .documents(50).caches(2).duration_minutes(5)
+//!     .requests_per_cache_per_minute(10.0).updates_per_minute(2.0)
+//!     .seed(9).build();
+//! let config = CloudConfig::builder(2)
+//!     .placement(PlacementScheme::AdHoc)
+//!     .build()?;
+//! let observer = CountingObserver::new();
+//! let report = EdgeNetworkSim::new(config, &trace)?
+//!     .with_observer(observer.clone())
+//!     .run();
+//! assert_eq!(observer.count(EventKind::Request), report.requests);
+//! # Ok::<(), cachecloud_types::CacheCloudError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use cachecloud_metrics::telemetry::{Event, EventKind, EventSink};
+
+/// The `node` id stamped on events that belong to the cloud as a whole
+/// (update propagation at the beacon, rebalancing cycles) rather than to
+/// one requesting cache.
+pub const CLOUD_NODE: u32 = u32::MAX;
+
+/// A hook receiving one telemetry [`Event`] per simulated protocol action.
+///
+/// Attach with [`crate::EdgeNetworkSim::with_observer`]. Events arrive in
+/// simulation order; `ts_micros` is simulated time. Request-lifecycle
+/// events carry the requesting cache id and document url; cloud-level
+/// events (updates, cycles) carry [`CLOUD_NODE`].
+pub trait Observer: Send {
+    /// Called once per event, in simulation order.
+    fn observe(&mut self, event: &Event);
+}
+
+/// An [`Observer`] that tallies events per [`EventKind`].
+///
+/// Cloneable: all clones share one tally, so a clone kept outside the sim
+/// can read the totals after (or while) the run consumes the original.
+#[derive(Debug, Clone, Default)]
+pub struct CountingObserver {
+    totals: Arc<Mutex<BTreeMap<EventKind, u64>>>,
+}
+
+impl CountingObserver {
+    /// A fresh, all-zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The count observed for one kind so far.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.totals
+            .lock()
+            .expect("tally lock poisoned")
+            .get(&kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A snapshot of every non-zero tally, keyed by kind.
+    pub fn totals(&self) -> BTreeMap<EventKind, u64> {
+        self.totals.lock().expect("tally lock poisoned").clone()
+    }
+}
+
+impl Observer for CountingObserver {
+    fn observe(&mut self, event: &Event) {
+        *self
+            .totals
+            .lock()
+            .expect("tally lock poisoned")
+            .entry(event.kind)
+            .or_insert(0) += 1;
+    }
+}
+
+/// An [`Observer`] that forwards every event to a telemetry sink, e.g. a
+/// `StderrSink` for live tracing or a `JsonLinesSink` for offline
+/// analysis of a simulated run.
+pub struct SinkObserver {
+    sink: Arc<dyn EventSink>,
+}
+
+impl SinkObserver {
+    /// Wraps a sink as an observer.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        SinkObserver { sink }
+    }
+}
+
+impl std::fmt::Debug for SinkObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkObserver").finish_non_exhaustive()
+    }
+}
+
+impl Observer for SinkObserver {
+    fn observe(&mut self, event: &Event) {
+        self.sink.emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecloud_metrics::telemetry::MemorySink;
+
+    #[test]
+    fn counting_observer_clones_share_one_tally() {
+        let a = CountingObserver::new();
+        let mut b = a.clone();
+        b.observe(&Event::new(0, 1, EventKind::Request));
+        b.observe(&Event::new(1, 1, EventKind::LocalHit));
+        b.observe(&Event::new(2, 2, EventKind::Request));
+        assert_eq!(a.count(EventKind::Request), 2);
+        assert_eq!(a.count(EventKind::LocalHit), 1);
+        assert_eq!(a.count(EventKind::Eviction), 0);
+        assert_eq!(a.totals().len(), 2);
+    }
+
+    #[test]
+    fn sink_observer_forwards_to_the_sink() {
+        let sink = Arc::new(MemorySink::default());
+        let mut obs = SinkObserver::new(Arc::clone(&sink) as Arc<dyn EventSink>);
+        obs.observe(&Event::new(7, 3, EventKind::Cycle).field("cycle", "1"));
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Cycle);
+        assert_eq!(events[0].node, 3);
+    }
+}

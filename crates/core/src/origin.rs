@@ -32,10 +32,7 @@ impl OriginServer {
     pub fn apply_update(&mut self, doc: &DocId, now: SimTime) -> Version {
         self.updates += 1;
         self.update_monitor.record(doc, now);
-        let v = self
-            .versions
-            .entry(doc.clone())
-            .or_insert(Version::INITIAL);
+        let v = self.versions.entry(doc.clone()).or_insert(Version::INITIAL);
         *v = v.next();
         *v
     }

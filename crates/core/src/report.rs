@@ -95,7 +95,11 @@ impl SimReport {
         if self.catalog_size == 0 || self.docs_stored_per_cache.is_empty() {
             return 0.0;
         }
-        let mean_docs: f64 = self.docs_stored_per_cache.iter().map(|&n| n as f64).sum::<f64>()
+        let mean_docs: f64 = self
+            .docs_stored_per_cache
+            .iter()
+            .map(|&n| n as f64)
+            .sum::<f64>()
             / self.docs_stored_per_cache.len() as f64;
         mean_docs / self.catalog_size as f64 * 100.0
     }

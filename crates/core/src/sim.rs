@@ -2,12 +2,14 @@
 
 use std::sync::Arc;
 
+use cachecloud_metrics::telemetry::{Event, EventKind};
 use cachecloud_sim::Simulation;
 use cachecloud_types::{CacheCloudError, SimDuration, SimTime};
 use cachecloud_workload::{Trace, TraceEventKind};
 
-use crate::cloud::CacheCloud;
+use crate::cloud::{CacheCloud, CloudStats};
 use crate::config::CloudConfig;
+use crate::observer::{Observer, CLOUD_NODE};
 use crate::origin::OriginServer;
 use crate::report::SimReport;
 
@@ -17,6 +19,84 @@ struct SimState {
     origin: OriginServer,
     trace: Arc<Trace>,
     cursor: usize,
+    observer: Option<Box<dyn Observer>>,
+    /// Counter snapshot at the last observed event, for delta extraction.
+    prev: CloudStats,
+    prev_evictions: u64,
+}
+
+/// Emits one telemetry event per unit of counter movement since the last
+/// call, attributed to `node` (and `url`, when the trigger names one).
+///
+/// The cloud's own counters are the source of truth; diffing them after
+/// each protocol transaction yields exactly the event stream the live
+/// cluster emits inline, without instrumenting every protocol path twice.
+fn observe_deltas(st: &mut SimState, now: SimTime, node: u32, url: Option<&str>) {
+    let Some(observer) = st.observer.as_mut() else {
+        return;
+    };
+    let stats = st.cloud.stats();
+    let evictions = st.cloud.total_evictions();
+    let ts = now.as_micros();
+    let moved = [
+        (EventKind::Request, st.prev.requests, stats.requests),
+        (EventKind::LocalHit, st.prev.local_hits, stats.local_hits),
+        (EventKind::CloudHit, st.prev.cloud_hits, stats.cloud_hits),
+        (
+            EventKind::OriginFetch,
+            st.prev.origin_fetches,
+            stats.origin_fetches,
+        ),
+        (
+            EventKind::UpdatePropagated,
+            st.prev.updates_propagated,
+            stats.updates_propagated,
+        ),
+        (
+            EventKind::UpdateSkipped,
+            st.prev.updates_skipped,
+            stats.updates_skipped,
+        ),
+        (
+            EventKind::UpdateDelivery,
+            st.prev.update_deliveries,
+            stats.update_deliveries,
+        ),
+        (EventKind::Store, st.prev.stores, stats.stores),
+        (EventKind::Drop, st.prev.drops, stats.drops),
+        (
+            EventKind::HandoffRecord,
+            st.prev.handoff_records,
+            stats.handoff_records,
+        ),
+        (EventKind::Cycle, st.prev.cycles, stats.cycles),
+        (
+            EventKind::StaleServe,
+            st.prev.stale_serves,
+            stats.stale_serves,
+        ),
+        (
+            EventKind::Revalidation,
+            st.prev.revalidations,
+            stats.revalidations,
+        ),
+        (EventKind::Eviction, st.prev_evictions, evictions),
+    ];
+    for (kind, before, after) in moved {
+        for _ in before..after {
+            let mut event = Event::new(ts, node, kind);
+            // Evicted documents are placement victims, not the document
+            // named by the triggering transaction.
+            if kind != EventKind::Eviction {
+                if let Some(u) = url {
+                    event = event.url(u);
+                }
+            }
+            observer.observe(&event);
+        }
+    }
+    st.prev = stats;
+    st.prev_evictions = evictions;
 }
 
 /// Replays a trace against one configured cache cloud.
@@ -87,10 +167,22 @@ impl EdgeNetworkSim {
                 origin: OriginServer::new(monitor),
                 trace: Arc::new(trace.clone()),
                 cursor: 0,
+                observer: None,
+                prev: CloudStats::default(),
+                prev_evictions: 0,
             },
             cycle,
             duration: trace.duration(),
         })
+    }
+
+    /// Attaches an [`Observer`] that receives one telemetry [`Event`] per
+    /// protocol action, in simulation order, using the same `EventKind`
+    /// vocabulary the live cluster reports through.
+    #[must_use]
+    pub fn with_observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.state.observer = Some(Box::new(observer));
+        self
     }
 
     /// Runs the whole trace and reports.
@@ -106,6 +198,7 @@ impl EdgeNetworkSim {
         sim.schedule_periodic(SimTime::ZERO + cycle, cycle, move |sim| {
             let now = sim.now();
             sim.state_mut().cloud.end_cycle(now);
+            observe_deltas(sim.state_mut(), now, CLOUD_NODE, None);
             now < SimTime::ZERO + duration
         });
 
@@ -131,10 +224,12 @@ impl EdgeNetworkSim {
                         let update_rate = st.origin.update_rate(&spec.id, now);
                         st.cloud
                             .handle_request(spec, cache, version, update_rate, now);
+                        observe_deltas(st, now, cache.index() as u32, Some(spec.id.url()));
                     }
                     TraceEventKind::Update => {
                         let version = st.origin.apply_update(&spec.id, now);
                         st.cloud.handle_update(spec, version, now);
+                        observe_deltas(st, now, CLOUD_NODE, Some(spec.id.url()));
                     }
                 }
                 st.cursor += 1;
@@ -157,17 +252,15 @@ impl EdgeNetworkSim {
         } = state;
         let minutes = duration.as_minutes_f64().max(f64::MIN_POSITIVE);
         let stats = cloud.stats();
-        let beacon_loads_per_unit: Vec<f64> = cloud
-            .beacon_loads()
-            .iter()
-            .map(|l| l / minutes)
-            .collect();
+        let beacon_loads_per_unit: Vec<f64> =
+            cloud.beacon_loads().iter().map(|l| l / minutes).collect();
         SimReport {
             hashing: cloud.assigner().name().to_owned(),
-            placement: cloud.config().placement.build().map_or_else(
-                |_| "unknown".to_owned(),
-                |p| p.name().to_owned(),
-            ),
+            placement: cloud
+                .config()
+                .placement
+                .build()
+                .map_or_else(|_| "unknown".to_owned(), |p| p.name().to_owned()),
             duration_minutes: minutes,
             catalog_size: trace.catalog().len(),
             requests: stats.requests,
@@ -237,6 +330,93 @@ mod tests {
             report.requests,
             report.local_hits + report.cloud_hits + report.origin_fetches
         );
+    }
+
+    #[test]
+    fn observer_totals_match_the_report_exactly() {
+        use crate::observer::CountingObserver;
+        use cachecloud_metrics::telemetry::EventKind;
+
+        let trace = small_trace(7);
+        let observer = CountingObserver::new();
+        let report = EdgeNetworkSim::new(config(PlacementScheme::utility_default()), &trace)
+            .unwrap()
+            .with_observer(observer.clone())
+            .run();
+
+        // The observer sees exactly the events the report counts: the two
+        // reporting paths share one metrics vocabulary.
+        assert_eq!(observer.count(EventKind::Request), report.requests);
+        assert_eq!(observer.count(EventKind::LocalHit), report.local_hits);
+        assert_eq!(observer.count(EventKind::CloudHit), report.cloud_hits);
+        assert_eq!(
+            observer.count(EventKind::OriginFetch),
+            report.origin_fetches
+        );
+        assert_eq!(
+            observer.count(EventKind::UpdatePropagated),
+            report.updates_propagated
+        );
+        assert_eq!(
+            observer.count(EventKind::UpdateDelivery),
+            report.update_deliveries
+        );
+        assert_eq!(observer.count(EventKind::Store), report.stores);
+        assert_eq!(observer.count(EventKind::Drop), report.drops);
+        assert_eq!(observer.count(EventKind::Eviction), report.evictions);
+        assert_eq!(
+            observer.count(EventKind::HandoffRecord),
+            report.handoff_records
+        );
+        assert_eq!(observer.count(EventKind::Cycle), report.cycles);
+        assert_eq!(observer.count(EventKind::StaleServe), report.stale_serves);
+        assert_eq!(
+            observer.count(EventKind::Revalidation),
+            report.revalidations
+        );
+        // Every origin update is either propagated or skipped.
+        assert_eq!(
+            observer.count(EventKind::UpdatePropagated) + observer.count(EventKind::UpdateSkipped),
+            report.updates_seen
+        );
+        assert!(report.requests > 0, "trace drove traffic");
+    }
+
+    #[test]
+    fn observer_events_carry_attribution() {
+        use crate::observer::{SinkObserver, CLOUD_NODE};
+        use cachecloud_metrics::telemetry::{EventKind, MemorySink};
+        use std::sync::Arc;
+
+        let trace = small_trace(8);
+        let sink = Arc::new(MemorySink::default());
+        let report = EdgeNetworkSim::new(config(PlacementScheme::AdHoc), &trace)
+            .unwrap()
+            .with_observer(SinkObserver::new(
+                Arc::clone(&sink) as Arc<dyn cachecloud_metrics::telemetry::EventSink>
+            ))
+            .run();
+        let events = sink.drain();
+        assert!(
+            events.len() as u64 >= report.requests,
+            "at least one event per request"
+        );
+        // Requests are attributed to a real cache and carry the url.
+        let req = events
+            .iter()
+            .find(|e| e.kind == EventKind::Request)
+            .expect("request events observed");
+        assert!((req.node as usize) < 4, "requesting cache id");
+        assert!(req.url.is_some(), "request names its document");
+        // Cycles belong to the cloud, not a cache.
+        let cycle = events
+            .iter()
+            .find(|e| e.kind == EventKind::Cycle)
+            .expect("cycle events observed");
+        assert_eq!(cycle.node, CLOUD_NODE);
+        assert!(cycle.url.is_none());
+        // Timestamps are simulated time, monotone non-decreasing.
+        assert!(events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
     }
 
     #[test]

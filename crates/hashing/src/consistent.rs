@@ -44,10 +44,7 @@ impl ConsistentHashing {
     ///
     /// Returns [`cachecloud_types::CacheCloudError::InvalidConfig`] if
     /// `caches` is empty or `virtual_nodes` is zero.
-    pub fn new(
-        caches: Vec<CacheId>,
-        virtual_nodes: usize,
-    ) -> cachecloud_types::Result<Self> {
+    pub fn new(caches: Vec<CacheId>, virtual_nodes: usize) -> cachecloud_types::Result<Self> {
         if caches.is_empty() {
             return Err(cachecloud_types::CacheCloudError::InvalidConfig {
                 param: "caches",
@@ -131,7 +128,9 @@ mod tests {
     use super::*;
 
     fn docs(n: usize) -> Vec<DocId> {
-        (0..n).map(|i| DocId::from_url(format!("/doc/{i}"))).collect()
+        (0..n)
+            .map(|i| DocId::from_url(format!("/doc/{i}")))
+            .collect()
     }
 
     #[test]

@@ -150,9 +150,7 @@ impl DynamicHashing {
         if irh_gen < per_ring as u64 {
             return Err(CacheCloudError::InvalidConfig {
                 param: "irh_gen",
-                reason: format!(
-                    "generator {irh_gen} is smaller than the ring size {per_ring}"
-                ),
+                reason: format!("generator {irh_gen} is smaller than the ring size {per_ring}"),
             });
         }
         let mut rings = Vec::with_capacity(num_rings);
@@ -311,9 +309,10 @@ impl BeaconAssigner for DynamicHashing {
                     capability: p.capability,
                     range: p.range,
                     total_load: p.load,
-                    per_irh: ring.ledger.as_ref().map(|l| {
-                        l[p.range.min() as usize..=p.range.max() as usize].to_vec()
-                    }),
+                    per_irh: ring
+                        .ledger
+                        .as_ref()
+                        .map(|l| l[p.range.min() as usize..=p.range.max() as usize].to_vec()),
                 })
                 .collect();
             let (new_ranges, shifts) = determine_subranges(&inputs, self.irh_gen);
@@ -517,8 +516,7 @@ mod tests {
     #[test]
     fn subranges_always_tile_after_many_cycles() {
         let mut dh =
-            DynamicHashing::new(&cloud(10), RingLayout::points_per_ring(5), 1000, false)
-                .unwrap();
+            DynamicHashing::new(&cloud(10), RingLayout::points_per_ring(5), 1000, false).unwrap();
         let ds = docs(1000);
         for cycle in 0..10 {
             for (i, d) in ds.iter().enumerate() {
@@ -560,8 +558,7 @@ mod tests {
             assert_ne!(dh.beacon_for(d), victim);
         }
         // Documents in unaffected rings keep their beacon points.
-        let dh_fresh =
-            DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
+        let dh_fresh = DynamicHashing::new(&cloud(10), RingLayout::rings(5), 1000, true).unwrap();
         for d in &ds {
             if dh_fresh.ring_of(d) != RingId(2) {
                 assert_eq!(dh.beacon_for(d), dh_fresh.beacon_for(d));

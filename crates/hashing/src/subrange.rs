@@ -143,7 +143,10 @@ pub fn determine_subranges(
     points: &[PointLoad],
     generator: u64,
 ) -> (Vec<SubRange>, Vec<BoundaryShift>) {
-    assert!(!points.is_empty(), "ring must have at least one beacon point");
+    assert!(
+        !points.is_empty(),
+        "ring must have at least one beacon point"
+    );
     // Validate tiling.
     let mut expect = 0u64;
     for p in points {
@@ -266,7 +269,9 @@ mod tests {
     /// The paper's Figure 2 per-IrH loads: p0 owns (0,4) with 500 total,
     /// p1 owns (5,9) with 300 total.
     fn fig2_loads() -> Vec<f64> {
-        vec![175.0, 135.0, 100.0, 30.0, 60.0, 100.0, 50.0, 25.0, 75.0, 50.0]
+        vec![
+            175.0, 135.0, 100.0, 30.0, 60.0, 100.0, 50.0, 25.0, 75.0, 50.0,
+        ]
     }
 
     #[test]

@@ -28,8 +28,13 @@
 pub mod histogram;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod timeseries;
 
 pub use histogram::Histogram;
 pub use stats::{LoadDistribution, Summary};
+pub use telemetry::{
+    AtomicHistogram, Counter, Event, EventKind, EventLog, EventSink, Gauge, HistogramSnapshot,
+    JsonLinesSink, MemorySink, NodeStats, Registry, StderrSink,
+};
 pub use timeseries::BinnedSeries;

@@ -117,10 +117,8 @@ mod tests {
 
     #[test]
     fn deterministic_model_has_no_jitter() {
-        let m = LatencyModel::deterministic(
-            SimDuration::from_millis(3),
-            SimDuration::from_millis(50),
-        );
+        let m =
+            LatencyModel::deterministic(SimDuration::from_millis(3), SimDuration::from_millis(50));
         let mut rng = SimRng::seed_from_u64(0);
         for _ in 0..10 {
             assert_eq!(m.sample_intra_cloud(&mut rng), SimDuration::from_millis(3));

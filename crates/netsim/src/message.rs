@@ -38,9 +38,9 @@ impl MessageKind {
             MessageKind::LookupRequest
             | MessageKind::LookupResponse
             | MessageKind::DirectoryRegister => control,
-            MessageKind::DocTransfer
-            | MessageKind::UpdateNotice
-            | MessageKind::UpdateDelivery => control.saturating_add(body),
+            MessageKind::DocTransfer | MessageKind::UpdateNotice | MessageKind::UpdateDelivery => {
+                control.saturating_add(body)
+            }
             MessageKind::DirectoryHandoff => control,
         }
     }

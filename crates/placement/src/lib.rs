@@ -57,5 +57,7 @@ pub mod policy;
 pub mod utility;
 
 pub use monitor::RateMonitor;
-pub use policy::{AdHocPolicy, BeaconPointPolicy, PlacementContext, PlacementPolicy, UtilityBasedPolicy};
+pub use policy::{
+    AdHocPolicy, BeaconPointPolicy, PlacementContext, PlacementPolicy, UtilityBasedPolicy,
+};
 pub use utility::{UtilityBreakdown, UtilityWeights};

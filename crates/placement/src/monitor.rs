@@ -57,10 +57,7 @@ impl RateMonitor {
 
     /// Records one event for `doc` at time `now`.
     pub fn record(&mut self, doc: &DocId, now: SimTime) {
-        let entry = self
-            .counters
-            .entry(doc.clone())
-            .or_insert((0.0, now));
+        let entry = self.counters.entry(doc.clone()).or_insert((0.0, now));
         let dt = now.saturating_since(entry.1).as_micros() as f64;
         entry.0 = entry.0 * (-self.lambda_per_us * dt).exp() + 1.0;
         entry.1 = now;

@@ -222,7 +222,10 @@ pub fn evaluate(weights: &UtilityWeights, ctx: &PlacementContext) -> UtilityBrea
         ctx.residence_here.map(|d| d.as_secs_f64()),
         ctx.max_residence_elsewhere.map(|d| d.as_secs_f64()),
     );
-    let cmc_v = cmc(ctx.prior_access_rate.max(MIN_EVIDENCE_RATE), ctx.update_rate);
+    let cmc_v = cmc(
+        ctx.prior_access_rate.max(MIN_EVIDENCE_RATE),
+        ctx.update_rate,
+    );
     UtilityBreakdown {
         afc: afc_v,
         dac: dac_v,

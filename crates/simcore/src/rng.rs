@@ -117,7 +117,10 @@ impl SimRng {
     ///
     /// Panics if `xm` or `alpha` is not strictly positive.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         xm / (1.0 - self.next_f64()).powf(1.0 / alpha)
     }
 

@@ -235,8 +235,7 @@ impl GreedyDualSizePolicy {
 
     fn set(&mut self, doc: &DocId, h: f64) {
         self.tick += 1;
-        if let Some((old_h, old_s)) = self.state.insert(doc.clone(), (TotalF64(h), self.tick))
-        {
+        if let Some((old_h, old_s)) = self.state.insert(doc.clone(), (TotalF64(h), self.tick)) {
             self.order.remove(&(old_h, old_s, doc.clone()));
         }
         self.order.insert((TotalF64(h), self.tick, doc.clone()));

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use cachecloud_types::{
-    ByteSize, CacheCloudError, DocId, SimDuration, SimTime, Version,
-};
+use cachecloud_types::{ByteSize, CacheCloudError, DocId, SimDuration, SimTime, Version};
 
 use crate::policy::ReplacementPolicy;
 use crate::residence::ResidenceEstimator;

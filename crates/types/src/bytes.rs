@@ -97,7 +97,10 @@ impl ByteSize {
     /// Panics if `frac` is negative or not finite.
     #[must_use]
     pub fn scale(self, frac: f64) -> ByteSize {
-        assert!(frac.is_finite() && frac >= 0.0, "fraction must be non-negative");
+        assert!(
+            frac.is_finite() && frac >= 0.0,
+            "fraction must be non-negative"
+        );
         ByteSize((self.0 as f64 * frac) as u64)
     }
 }

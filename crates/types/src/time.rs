@@ -263,14 +263,8 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_minutes(3);
         assert_eq!(t.as_minutes_f64(), 3.0);
         assert_eq!(t - SimTime::ZERO, SimDuration::from_minutes(3));
-        assert_eq!(
-            (t - SimDuration::from_minutes(1)).as_minutes_f64(),
-            2.0
-        );
-        assert_eq!(
-            SimTime::ZERO.saturating_since(t),
-            SimDuration::ZERO
-        );
+        assert_eq!((t - SimDuration::from_minutes(1)).as_minutes_f64(), 2.0);
+        assert_eq!(SimTime::ZERO.saturating_since(t), SimDuration::ZERO);
         let mut u = t;
         u += SimDuration::from_minutes(1);
         u -= SimDuration::from_minutes(2);

@@ -91,9 +91,18 @@ fn stats(path: &str) -> Result<(), String> {
     println!("trace: {path}");
     println!("  documents           {}", st.documents);
     println!("  caches              {}", trace.num_caches());
-    println!("  minutes             {}", trace.duration().as_minutes_f64());
-    println!("  requests            {} ({:.1}/min)", st.requests, st.requests_per_minute);
-    println!("  updates             {} ({:.1}/min)", st.updates, st.updates_per_minute);
+    println!(
+        "  minutes             {}",
+        trace.duration().as_minutes_f64()
+    );
+    println!(
+        "  requests            {} ({:.1}/min)",
+        st.requests, st.requests_per_minute
+    );
+    println!(
+        "  updates             {} ({:.1}/min)",
+        st.updates, st.updates_per_minute
+    );
     println!("  distinct requested  {}", st.distinct_requested);
     println!("  distinct updated    {}", st.distinct_updated);
     println!(
@@ -101,10 +110,7 @@ fn stats(path: &str) -> Result<(), String> {
         st.top1_request_share * 100.0,
         st.top1pct_request_share * 100.0
     );
-    println!(
-        "  corpus size         {}",
-        trace.catalog().total_size()
-    );
+    println!("  corpus size         {}", trace.catalog().total_size());
     Ok(())
 }
 

@@ -175,13 +175,7 @@ impl SydneyTraceBuilder {
         assert!(self.documents > 0, "need at least one document");
         assert!(self.caches > 0, "need at least one cache");
         let mut rng = SimRng::seed_from_u64(self.seed ^ 0x5D0_2000);
-        let catalog = build_catalog(
-            self.documents,
-            "/sydney/doc-",
-            8.4,
-            1.1,
-            &mut rng,
-        );
+        let catalog = build_catalog(self.documents, "/sydney/doc-", 8.4, 1.1, &mut rng);
 
         let events_windows = self.make_event_windows(&mut rng);
         let global = ZipfSampler::new(self.documents, self.base_theta);
@@ -193,7 +187,14 @@ impl SydneyTraceBuilder {
 
         let mut events = Vec::new();
         self.generate_requests(&mut rng, &events_windows, &global, &front, &mut events);
-        self.generate_updates(&mut rng, &events_windows, &hot, &global, &front, &mut events);
+        self.generate_updates(
+            &mut rng,
+            &events_windows,
+            &hot,
+            &global,
+            &front,
+            &mut events,
+        );
 
         Trace::new(
             catalog,
@@ -241,8 +242,7 @@ impl SydneyTraceBuilder {
     ) {
         for minute in 0..self.duration_minutes {
             let mut intensity = self.diurnal(minute);
-            let active: Vec<&EventWindow> =
-                windows.iter().filter(|w| w.contains(minute)).collect();
+            let active: Vec<&EventWindow> = windows.iter().filter(|w| w.contains(minute)).collect();
             for w in &active {
                 // Events add traffic on top of the baseline.
                 intensity *= 1.0 + (w.boost - 1.0) * 0.3;
@@ -250,9 +250,7 @@ impl SydneyTraceBuilder {
             let mean = self.requests_per_cache_per_minute * self.caches as f64 * intensity;
             let n = poisson_count(rng, mean);
             for _ in 0..n {
-                let at = SimTime::from_micros(
-                    minute * 60_000_000 + rng.range_u64(0, 60_000_000),
-                );
+                let at = SimTime::from_micros(minute * 60_000_000 + rng.range_u64(0, 60_000_000));
                 // Front pages stay hot all day; during events a share of
                 // the remaining traffic goes to the event's documents.
                 let doc = if rng.chance(self.front_share) {
@@ -302,12 +300,9 @@ impl SydneyTraceBuilder {
 
         for minute in 0..self.duration_minutes {
             let n = poisson_count(rng, weights[minute as usize] * scale);
-            let active: Vec<&EventWindow> =
-                windows.iter().filter(|w| w.contains(minute)).collect();
+            let active: Vec<&EventWindow> = windows.iter().filter(|w| w.contains(minute)).collect();
             for _ in 0..n {
-                let at = SimTime::from_micros(
-                    minute * 60_000_000 + rng.range_u64(0, 60_000_000),
-                );
+                let at = SimTime::from_micros(minute * 60_000_000 + rng.range_u64(0, 60_000_000));
                 // Updates concentrate on the ever-changing front pages
                 // (medal tally), scoreboard-like hot documents, and during
                 // events on the event documents themselves.
@@ -423,10 +418,7 @@ mod tests {
         }
         let head: u64 = upd[..150].iter().sum();
         let total: u64 = upd.iter().sum();
-        assert!(
-            head as f64 / total as f64 > 0.5,
-            "head {head} of {total}"
-        );
+        assert!(head as f64 / total as f64 > 0.5, "head {head} of {total}");
     }
 
     #[test]

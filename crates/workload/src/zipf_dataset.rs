@@ -178,10 +178,7 @@ impl ZipfTraceBuilder {
         );
 
         let access = ZipfSampler::new(self.documents, self.theta);
-        let update = ZipfSampler::new(
-            self.documents,
-            self.update_theta.unwrap_or(self.theta),
-        );
+        let update = ZipfSampler::new(self.documents, self.update_theta.unwrap_or(self.theta));
         // Optional independent permutation for update popularity.
         let update_rank: Vec<u32> = if self.decorrelate_updates {
             let mut perm: Vec<u32> = (0..self.documents as u32).collect();
@@ -197,8 +194,7 @@ impl ZipfTraceBuilder {
 
         let total_requests = poisson_count(
             &mut rng,
-            self.requests_per_cache_per_minute * self.caches as f64
-                * self.duration_minutes as f64,
+            self.requests_per_cache_per_minute * self.caches as f64 * self.duration_minutes as f64,
         );
         for _ in 0..total_requests {
             let at = SimTime::from_micros(rng.range_u64(0, span_us));
@@ -347,11 +343,15 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         assert_eq!(poisson_count(&mut rng, 0.0), 0);
         let n = 5000;
-        let small_mean: f64 =
-            (0..n).map(|_| poisson_count(&mut rng, 3.0) as f64).sum::<f64>() / n as f64;
+        let small_mean: f64 = (0..n)
+            .map(|_| poisson_count(&mut rng, 3.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((small_mean - 3.0).abs() < 0.15, "mean {small_mean}");
-        let big_mean: f64 =
-            (0..n).map(|_| poisson_count(&mut rng, 500.0) as f64).sum::<f64>() / n as f64;
+        let big_mean: f64 = (0..n)
+            .map(|_| poisson_count(&mut rng, 500.0) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((big_mean - 500.0).abs() < 2.0, "mean {big_mean}");
     }
 

@@ -10,9 +10,7 @@
 //! benefit of the architecture: the origin sends one update message per
 //! cloud instead of one per holder.
 
-use cache_clouds_repro::core::{
-    CloudConfig, HashingScheme, MultiCloudSim, PlacementScheme,
-};
+use cache_clouds_repro::core::{CloudConfig, HashingScheme, MultiCloudSim, PlacementScheme};
 use cache_clouds_repro::metrics::report::Table;
 use cache_clouds_repro::net::{cluster_by_landmarks, landmarks, EdgeNetwork};
 use cache_clouds_repro::sim::SimRng;
@@ -56,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = MultiCloudSim::new(&membership, &template, &trace)?.run();
 
     let mut t = Table::new([
-        "cloud", "caches", "requests", "cloud hit", "origin", "MB/min",
+        "cloud",
+        "caches",
+        "requests",
+        "cloud hit",
+        "origin",
+        "MB/min",
     ]);
     for (i, c) in report.clouds.iter().enumerate() {
         t.push_row(vec![

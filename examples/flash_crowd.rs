@@ -11,9 +11,7 @@
 //! spread flat. The example also injects a beacon failure to show the ring
 //! partner absorbing the failed point's range.
 
-use cache_clouds_repro::hashing::{
-    BeaconAssigner, DynamicHashing, RingLayout, StaticHashing,
-};
+use cache_clouds_repro::hashing::{BeaconAssigner, DynamicHashing, RingLayout, StaticHashing};
 use cache_clouds_repro::metrics::report::{fmt_f64, Table};
 use cache_clouds_repro::metrics::Summary;
 use cache_clouds_repro::sim::SimRng;
@@ -40,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| DocId::from_url(format!("/event/{i}")))
         .collect();
     let ids: Vec<CacheId> = (0..caches).map(CacheId).collect();
-    let caps: Vec<(CacheId, Capability)> =
-        ids.iter().map(|&c| (c, Capability::UNIT)).collect();
+    let caps: Vec<(CacheId, Capability)> = ids.iter().map(|&c| (c, Capability::UNIT)).collect();
 
     let mut static_h: Box<dyn BeaconAssigner> = Box::new(StaticHashing::new(ids)?);
     let mut dynamic_h: Box<dyn BeaconAssigner> = Box::new(DynamicHashing::new(
@@ -79,10 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let handoffs = dynamic_h.end_cycle();
 
         let loads = phase_loads(phase, &docs, &mut rng);
-        let s = Summary::of(&measure(&mut static_h, &docs, &loads, caches))
-            .coefficient_of_variation();
-        let d = Summary::of(&measure(&mut dynamic_h, &docs, &loads, caches))
-            .coefficient_of_variation();
+        let s =
+            Summary::of(&measure(&mut static_h, &docs, &loads, caches)).coefficient_of_variation();
+        let d =
+            Summary::of(&measure(&mut dynamic_h, &docs, &loads, caches)).coefficient_of_variation();
         static_h.end_cycle();
         dynamic_h.end_cycle();
         t.push_row(vec![
@@ -100,8 +97,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sub-range (lazily replicated directories); static hashing cannot.
     let victim = CacheId(3);
     println!("injecting failure of {victim}:");
-    println!("  static hashing absorbed: {}", static_h.handle_failure(victim));
-    println!("  dynamic hashing absorbed: {}", dynamic_h.handle_failure(victim));
+    println!(
+        "  static hashing absorbed: {}",
+        static_h.handle_failure(victim)
+    );
+    println!(
+        "  dynamic hashing absorbed: {}",
+        dynamic_h.handle_failure(victim)
+    );
     let survivors: usize = docs
         .iter()
         .filter(|d| dynamic_h.beacon_for(d) == victim)

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, url) in urls.iter().enumerate() {
         client.publish(url, format!("standings v1 of {i}").into_bytes(), 1)?;
     }
-    println!("\npublished {} documents (each stored at its beacon node)", urls.len());
+    println!(
+        "\npublished {} documents (each stored at its beacon node)",
+        urls.len()
+    );
 
     // Cooperative reads: fetch every document via every node. First fetch
     // per (node, doc) misses locally, consults the beacon, pulls from a
@@ -51,15 +54,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("update propagated: every node serves version 2 locally\n");
 
-    let mut t = Table::new(["node", "resident docs", "directory records", "hits", "misses"]);
+    let mut t = Table::new([
+        "node",
+        "resident docs",
+        "directory records",
+        "local hits",
+        "cloud hits",
+    ]);
     for node in 0..nodes as u32 {
-        let (resident, records, hits, misses) = client.stats(node)?;
+        let stats = client.stats(node)?;
         t.push_row(vec![
             node.to_string(),
-            resident.to_string(),
-            records.to_string(),
-            hits.to_string(),
-            misses.to_string(),
+            stats.resident.to_string(),
+            stats.directory_records.to_string(),
+            stats.counter("local_hits").to_string(),
+            stats.counter("cloud_hits").to_string(),
         ]);
     }
     println!("{}", t.render());
@@ -83,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hot.len()
     );
     for u in &urls {
-        assert!(client.fetch_via(5, u)?.is_some(), "document lost in handoff");
+        assert!(
+            client.fetch_via(5, u)?.is_some(),
+            "document lost in handoff"
+        );
     }
     println!("all documents still served after the live range migration\n");
 

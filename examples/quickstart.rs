@@ -84,10 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fmt_f64(s.coefficient_of_variation(), 3)
         ),
     ]);
-    t.push_row(vec![
-        "rebalancing cycles".into(),
-        report.cycles.to_string(),
-    ]);
+    t.push_row(vec!["rebalancing cycles".into(), report.cycles.to_string()]);
     println!("\n{}", t.render());
     Ok(())
 }

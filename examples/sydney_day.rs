@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cycle = SimDuration::from_hours(1);
     let ids: Vec<CacheId> = (0..caches).map(CacheId).collect();
-    let caps: Vec<(CacheId, Capability)> =
-        ids.iter().map(|&c| (c, Capability::UNIT)).collect();
+    let caps: Vec<(CacheId, Capability)> = ids.iter().map(|&c| (c, Capability::UNIT)).collect();
 
     let mut schemes: Vec<(&str, Box<dyn BeaconAssigner>)> = vec![
         ("static", Box::new(StaticHashing::new(ids.clone())?)),

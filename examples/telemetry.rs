@@ -1,0 +1,151 @@
+//! Live telemetry tour: boot a real cache cloud, drive mixed traffic, and
+//! scrape the cloud-wide stats aggregate.
+//!
+//! ```text
+//! cargo run --example telemetry --release
+//! ```
+//!
+//! Every node keeps lock-free lifecycle counters (keyed by the shared
+//! `EventKind` vocabulary) and fixed-bucket latency histograms; the `Stats`
+//! RPC scrapes them, and `cloud_stats()` folds every node's snapshot into
+//! one aggregate. The same vocabulary drives the simulator's `Observer`
+//! hook, shown at the end.
+
+use cache_clouds_repro::cluster::LocalCluster;
+use cache_clouds_repro::core::{CloudConfig, CountingObserver, EdgeNetworkSim, PlacementScheme};
+use cache_clouds_repro::metrics::report::Table;
+use cache_clouds_repro::metrics::telemetry::EventKind;
+use cache_clouds_repro::types::SimDuration;
+use cache_clouds_repro::workload::ZipfTraceBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = 4usize;
+    let cluster = LocalCluster::spawn(nodes)?;
+    let client = cluster.client();
+    println!("== live cluster: {nodes} nodes on loopback ==\n");
+
+    // Mixed traffic: publishes, cooperative fetches (first one per
+    // (node, doc) is a peer fetch, repeats are local hits), origin-side
+    // updates, and misses for never-published documents.
+    let urls: Vec<String> = (0..24).map(|i| format!("/feed/item-{i}")).collect();
+    for (i, url) in urls.iter().enumerate() {
+        client.publish(url, format!("body v1 #{i}").into_bytes(), 1)?;
+    }
+    for round in 0..3 {
+        for (i, url) in urls.iter().enumerate() {
+            let node = ((i + round) % nodes) as u32;
+            client.fetch_via(node, url)?;
+        }
+    }
+    for url in urls.iter().take(6) {
+        client.update(url, b"body v2".to_vec(), 2)?;
+    }
+    for i in 0..10 {
+        assert!(client.fetch(&format!("/missing/{i}"))?.is_none());
+    }
+
+    // Per-node lifecycle counters, straight off the Stats RPC.
+    let mut per_node = Table::new([
+        "node",
+        "resident",
+        "records",
+        "requests",
+        "local hits",
+        "cloud hits",
+        "origin",
+        "stores",
+    ]);
+    for node in 0..nodes as u32 {
+        let s = client.stats(node)?;
+        per_node.push_row(vec![
+            node.to_string(),
+            s.resident.to_string(),
+            s.directory_records.to_string(),
+            s.kind(EventKind::Request).to_string(),
+            s.kind(EventKind::LocalHit).to_string(),
+            s.kind(EventKind::CloudHit).to_string(),
+            s.kind(EventKind::OriginFetch).to_string(),
+            s.kind(EventKind::Store).to_string(),
+        ]);
+    }
+    println!("per-node lifecycle counters:\n{}", per_node.render());
+
+    // The cloud-wide aggregate: counters add, histograms merge.
+    let cloud = cluster.cloud_stats()?;
+    let mut agg = Table::new(["counter", "total"]);
+    for kind in EventKind::ALL {
+        let v = cloud.kind(kind);
+        if v > 0 {
+            agg.push_row(vec![kind.to_string(), v.to_string()]);
+        }
+    }
+    println!("cloud-wide aggregate (cloud_stats):\n{}", agg.render());
+    assert_eq!(
+        cloud.kind(EventKind::Request),
+        cloud.kind(EventKind::LocalHit)
+            + cloud.kind(EventKind::CloudHit)
+            + cloud.kind(EventKind::OriginFetch),
+        "lifecycle counters reconcile"
+    );
+
+    if let Some(serve) = cloud.histogram("serve_ms") {
+        println!(
+            "serve latency: {} samples, mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+            serve.count(),
+            serve.mean(),
+            serve.quantile(0.5),
+            serve.quantile(0.99)
+        );
+    }
+    if let Some(rpc) = cloud.histogram("rpc_ms") {
+        println!(
+            "peer rpc latency: {} samples, mean {:.3} ms, p99 {:.3} ms\n",
+            rpc.count(),
+            rpc.mean(),
+            rpc.quantile(0.99)
+        );
+    }
+    cluster.shutdown();
+
+    // The simulator reports through the same vocabulary: attach an
+    // Observer and tally the identical event kinds for a simulated run.
+    println!("== simulator, same vocabulary ==\n");
+    let trace = ZipfTraceBuilder::new()
+        .documents(200)
+        .caches(4)
+        .duration_minutes(20)
+        .requests_per_cache_per_minute(30.0)
+        .updates_per_minute(10.0)
+        .seed(42)
+        .build();
+    let observer = CountingObserver::new();
+    let report = EdgeNetworkSim::new(
+        CloudConfig::builder(4)
+            .placement(PlacementScheme::utility_default())
+            .cycle(SimDuration::from_minutes(5))
+            .build()?,
+        &trace,
+    )?
+    .with_observer(observer.clone())
+    .run();
+    let mut sim_table = Table::new(["event kind", "observed", "report"]);
+    for (kind, reported) in [
+        (EventKind::Request, report.requests),
+        (EventKind::LocalHit, report.local_hits),
+        (EventKind::CloudHit, report.cloud_hits),
+        (EventKind::OriginFetch, report.origin_fetches),
+        (EventKind::Store, report.stores),
+        (EventKind::Drop, report.drops),
+        (EventKind::Cycle, report.cycles),
+    ] {
+        sim_table.push_row(vec![
+            kind.to_string(),
+            observer.count(kind).to_string(),
+            reported.to_string(),
+        ]);
+        assert_eq!(observer.count(kind), reported, "{kind} reconciles");
+    }
+    println!("{}", sim_table.render());
+    println!("observer event totals match the SimReport exactly");
+    Ok(())
+}

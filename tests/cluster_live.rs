@@ -40,11 +40,14 @@ fn directory_records_live_at_the_beacon() {
     client.publish("/only", b"x".to_vec(), 1).unwrap();
     let beacon = client.beacon_of("/only");
     for node in 0..4 {
-        let (_, records, _, _) = client.stats(node).unwrap();
+        let stats = client.stats(node).unwrap();
         if node == beacon {
-            assert_eq!(records, 1, "the beacon holds the record");
+            assert_eq!(stats.directory_records, 1, "the beacon holds the record");
         } else {
-            assert_eq!(records, 0, "non-beacons hold no record for /only");
+            assert_eq!(
+                stats.directory_records, 0,
+                "non-beacons hold no record for /only"
+            );
         }
     }
     cluster.shutdown();
@@ -76,11 +79,19 @@ fn concurrent_clients_hammer_the_cloud() {
     for h in handles {
         h.join().unwrap();
     }
-    // Every node served traffic.
+    // Every node served traffic, and the cloud aggregate reconciles.
     for node in 0..4 {
-        let (_, _, hits, misses) = client.stats(node).unwrap();
-        assert!(hits + misses > 0, "node {node} idle");
+        let stats = client.stats(node).unwrap();
+        assert!(stats.counter("requests") > 0, "node {node} idle");
     }
+    let cloud = cluster.cloud_stats().unwrap();
+    assert_eq!(cloud.counter("requests"), 8 * 25, "one per worker fetch");
+    assert_eq!(
+        cloud.counter("requests"),
+        cloud.counter("local_hits") + cloud.counter("cloud_hits") + cloud.counter("origin_fetches")
+    );
+    let serve = cloud.histogram("serve_ms").expect("serve_ms scraped");
+    assert_eq!(serve.count(), cloud.counter("requests"));
     cluster.shutdown();
 }
 

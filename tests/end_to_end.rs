@@ -1,8 +1,6 @@
 //! End-to-end integration tests: full simulations across every crate.
 
-use cache_clouds_repro::core::{
-    CloudConfig, EdgeNetworkSim, HashingScheme, PlacementScheme,
-};
+use cache_clouds_repro::core::{CloudConfig, EdgeNetworkSim, HashingScheme, PlacementScheme};
 use cache_clouds_repro::net::LatencyModel;
 use cache_clouds_repro::types::SimDuration;
 use cache_clouds_repro::workload::{SydneyTraceBuilder, Trace, ZipfTraceBuilder};
@@ -62,6 +60,74 @@ fn every_request_is_accounted_for() {
 }
 
 #[test]
+fn lifecycle_counters_reconcile() {
+    // The telemetry invariants the live cluster is also held to: every
+    // request resolves to exactly one lifecycle outcome, and every copy
+    // retrieved into a cache (from a peer or the origin) is either stored
+    // or deliberately dropped by the placement policy.
+    let trace = zipf_trace(11);
+    for placement in [
+        PlacementScheme::AdHoc,
+        PlacementScheme::BeaconPoint,
+        PlacementScheme::utility_default(),
+        PlacementScheme::utility_with_dscc(),
+    ] {
+        let r = EdgeNetworkSim::new(
+            config(
+                HashingScheme::dynamic_rings(2, 1000, true),
+                placement.clone(),
+            ),
+            &trace,
+        )
+        .unwrap()
+        .run();
+        assert!(r.requests > 0);
+        assert_eq!(
+            r.requests,
+            r.local_hits + r.cloud_hits + r.origin_fetches,
+            "every request has exactly one outcome ({placement:?})"
+        );
+        assert_eq!(
+            r.stores + r.drops,
+            r.origin_fetches + r.cloud_hits,
+            "every retrieved copy is stored or dropped ({placement:?})"
+        );
+    }
+}
+
+#[test]
+fn observer_event_stream_reconciles_with_the_report() {
+    use cache_clouds_repro::core::CountingObserver;
+    use cache_clouds_repro::metrics::telemetry::EventKind;
+
+    let trace = zipf_trace(12);
+    let observer = CountingObserver::new();
+    let r = EdgeNetworkSim::new(
+        config(
+            HashingScheme::dynamic_rings(2, 1000, true),
+            PlacementScheme::utility_default(),
+        ),
+        &trace,
+    )
+    .unwrap()
+    .with_observer(observer.clone())
+    .run();
+    // The event stream and the report are two views of one run.
+    assert_eq!(observer.count(EventKind::Request), r.requests);
+    assert_eq!(
+        observer.count(EventKind::LocalHit)
+            + observer.count(EventKind::CloudHit)
+            + observer.count(EventKind::OriginFetch),
+        r.requests
+    );
+    assert_eq!(
+        observer.count(EventKind::Store) + observer.count(EventKind::Drop),
+        observer.count(EventKind::OriginFetch) + observer.count(EventKind::CloudHit)
+    );
+    assert_eq!(observer.count(EventKind::Cycle), r.cycles);
+}
+
+#[test]
 fn identical_runs_are_bit_identical() {
     let trace = zipf_trace(2);
     let cfg = config(
@@ -80,7 +146,10 @@ fn cooperative_caching_beats_isolation_on_origin_traffic() {
     // pairs would suggest.
     let trace = zipf_trace(3);
     let r = EdgeNetworkSim::new(
-        config(HashingScheme::dynamic_rings(2, 1000, true), PlacementScheme::AdHoc),
+        config(
+            HashingScheme::dynamic_rings(2, 1000, true),
+            PlacementScheme::AdHoc,
+        ),
         &trace,
     )
     .unwrap()

@@ -50,12 +50,14 @@ fn beacon_failure_mid_run_keeps_the_cloud_serving() {
 
 #[test]
 fn consecutive_failures_cascade_until_rings_bottom_out() {
-    let caps: Vec<(CacheId, Capability)> =
-        (0..4).map(|i| (CacheId(i), Capability::UNIT)).collect();
+    let caps: Vec<(CacheId, Capability)> = (0..4).map(|i| (CacheId(i), Capability::UNIT)).collect();
     let mut dh = DynamicHashing::new(&caps, RingLayout::rings(2), 100, true).unwrap();
     // Ring 0 holds caches 0 and 2; ring 1 holds 1 and 3.
     assert!(dh.handle_failure(CacheId(0)));
-    assert!(!dh.handle_failure(CacheId(2)), "last point of ring 0 must stay");
+    assert!(
+        !dh.handle_failure(CacheId(2)),
+        "last point of ring 0 must stay"
+    );
     assert!(dh.handle_failure(CacheId(1)));
     assert!(!dh.handle_failure(CacheId(3)));
     // All documents still resolve to the two survivors.
@@ -118,12 +120,7 @@ fn replay_and_full_sim_agree_on_beacon_totals() {
         .seed(3)
         .build();
     let mut assigner = HashingScheme::Static.build(5).unwrap();
-    let rep = replay_beacon_loads(
-        &trace,
-        assigner.as_mut(),
-        SimDuration::from_minutes(5),
-        0,
-    );
+    let rep = replay_beacon_loads(&trace, assigner.as_mut(), SimDuration::from_minutes(5), 0);
     let total: f64 = rep.loads_per_unit.iter().sum::<f64>() * rep.measured_minutes;
     assert!((total - trace.events().len() as f64).abs() < 1e-6);
 }

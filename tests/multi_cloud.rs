@@ -1,9 +1,7 @@
 //! Multi-cloud edge-network integration tests: landmark clustering feeding
 //! the multi-cloud simulator.
 
-use cache_clouds_repro::core::{
-    CloudConfig, HashingScheme, MultiCloudSim, PlacementScheme,
-};
+use cache_clouds_repro::core::{CloudConfig, HashingScheme, MultiCloudSim, PlacementScheme};
 use cache_clouds_repro::net::{cluster_by_landmarks, landmarks, EdgeNetwork};
 use cache_clouds_repro::sim::SimRng;
 use cache_clouds_repro::types::SimDuration;

@@ -1,5 +1,6 @@
 //! Property-based tests on the core data structures and invariants.
 
+use cache_clouds_repro::cluster::{Request, Response};
 use cache_clouds_repro::hashing::subrange::{determine_subranges, PointLoad};
 use cache_clouds_repro::hashing::{
     BeaconAssigner, ConsistentHashing, DynamicHashing, RingLayout, StaticHashing, SubRange,
@@ -7,7 +8,6 @@ use cache_clouds_repro::hashing::{
 use cache_clouds_repro::storage::{CacheStore, LruPolicy};
 use cache_clouds_repro::types::md5::{md5, Md5};
 use cache_clouds_repro::types::{ByteSize, CacheId, Capability, DocId, SimTime, Version};
-use cache_clouds_repro::cluster::{Request, Response};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,8 +1,6 @@
 //! Trace serialization and workload-statistics integration tests.
 
-use cache_clouds_repro::workload::{
-    SydneyTraceBuilder, Trace, TraceStats, ZipfTraceBuilder,
-};
+use cache_clouds_repro::workload::{SydneyTraceBuilder, Trace, TraceStats, ZipfTraceBuilder};
 
 #[test]
 fn zipf_trace_roundtrips_through_jsonl_file() {
