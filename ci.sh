@@ -16,4 +16,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> chaos suite (pinned seeds, bounded)"
+# The chaos tests run a live loopback cloud behind fault-injecting
+# proxies; seeds are pinned so failures replay. `timeout` caps the whole
+# suite well above its normal few-second runtime in case of a hang.
+CHAOS_SEEDS="11,23" timeout 300 \
+  cargo test -q -p cachecloud-cluster --test chaos
+
 echo "CI green."

@@ -1,0 +1,308 @@
+//! A deterministic fault-injecting TCP proxy for chaos tests.
+//!
+//! [`FaultyListener`] sits between a client (or a peer node) and a real
+//! node, forwarding the wire protocol frame by frame. Each accepted
+//! connection draws one [`FaultKind`] from a seeded hash of its arrival
+//! order — the same [`cachecloud_net::unit_hash`] substrate the
+//! simulator's `FaultPlan` and the cluster's retry jitter use — so a chaos
+//! run's fault sequence replays exactly under a fixed seed:
+//!
+//! - **Reset**: the connection is closed before any byte is forwarded
+//!   (the caller sees the connection die before a response arrives).
+//! - **Partial**: the request is forwarded, but only half of the response
+//!   frame comes back before the connection dies.
+//! - **Stall**: the whole exchange is delayed, long enough to trip a
+//!   caller's per-attempt or per-request deadline when so configured.
+//!
+//! A listener can also be marked *down* ([`FaultyListener::set_down`]), at
+//! which point every connection is dropped on arrival — the chaos suite's
+//! stand-in for a crashed node or beacon.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cachecloud_net::unit_hash;
+use cachecloud_types::CacheCloudError;
+
+use crate::wire::{read_frame, write_frame};
+
+/// What happens to one proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Forward the exchange untouched.
+    Transparent,
+    /// Close the connection before forwarding anything.
+    Reset,
+    /// Forward the request, return half of the response frame, close.
+    Partial,
+    /// Sleep before forwarding (then forward transparently).
+    Stall,
+}
+
+/// Per-connection fault probabilities of one [`FaultyListener`].
+///
+/// The decision for connection `n` is `unit_hash(seed, lane, n)` cut
+/// against the cumulative thresholds `reset`, `reset + partial`,
+/// `reset + partial + stall` — identical machinery to the simulator's
+/// `FaultSpec`, so the same seed always yields the same fault sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProfile {
+    /// Probability of a connection reset.
+    pub reset: f64,
+    /// Probability of a half-written response.
+    pub partial: f64,
+    /// Probability of a stalled exchange.
+    pub stall: f64,
+    /// How long a stalled exchange sleeps before proceeding.
+    pub stall_for: Duration,
+    /// Seed of the deterministic fault sequence.
+    pub seed: u64,
+    /// Hash lane (use a distinct lane per proxied node).
+    pub lane: u64,
+}
+
+impl ChaosProfile {
+    /// A fault-free profile for the given seed and lane.
+    pub fn new(seed: u64, lane: u64) -> Self {
+        ChaosProfile {
+            reset: 0.0,
+            partial: 0.0,
+            stall: 0.0,
+            stall_for: Duration::from_millis(50),
+            seed,
+            lane,
+        }
+    }
+
+    /// Checks that every probability lies in `[0, 1]` and their sum does
+    /// not exceed 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] otherwise.
+    pub fn validate(&self) -> Result<(), CacheCloudError> {
+        let ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !ok(self.reset) || !ok(self.partial) || !ok(self.stall) {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "chaos_profile",
+                reason: "each fault probability must lie in [0, 1]".into(),
+            });
+        }
+        if self.reset + self.partial + self.stall > 1.0 + 1e-12 {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "chaos_profile",
+                reason: "fault probabilities must sum to at most 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The deterministic fault for connection `seq` (0-based arrival
+    /// order).
+    pub fn decide(&self, seq: u64) -> FaultKind {
+        let u = unit_hash(self.seed, self.lane, seq);
+        if u < self.reset {
+            FaultKind::Reset
+        } else if u < self.reset + self.partial {
+            FaultKind::Partial
+        } else if u < self.reset + self.partial + self.stall {
+            FaultKind::Stall
+        } else {
+            FaultKind::Transparent
+        }
+    }
+}
+
+/// A fault-injecting TCP proxy in front of one upstream node.
+#[derive(Debug)]
+pub struct FaultyListener {
+    addr: SocketAddr,
+    down: Arc<AtomicBool>,
+    /// When non-zero, every connection stalls this many milliseconds
+    /// (overrides the profile's probabilistic decision).
+    stall_all_ms: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultyListener {
+    /// Binds an ephemeral loopback port and starts proxying to `upstream`
+    /// under `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and invalid profiles.
+    pub fn spawn(upstream: SocketAddr, profile: ChaosProfile) -> Result<Self, CacheCloudError> {
+        profile.validate()?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let down = Arc::new(AtomicBool::new(false));
+        let stall_all_ms = Arc::new(AtomicU64::new(0));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let t_down = Arc::clone(&down);
+        let t_stall = Arc::clone(&stall_all_ms);
+        let t_accepted = Arc::clone(&accepted);
+        let t_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("ccchaos-{}", profile.lane))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if t_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let seq = t_accepted.fetch_add(1, Ordering::SeqCst);
+                    if t_down.load(Ordering::SeqCst) {
+                        drop(stream); // node is "dead": refuse everyone
+                        continue;
+                    }
+                    let forced_stall = t_stall.load(Ordering::SeqCst);
+                    let (fault, stall_for) = if forced_stall > 0 {
+                        (FaultKind::Stall, Duration::from_millis(forced_stall))
+                    } else {
+                        (profile.decide(seq), profile.stall_for)
+                    };
+                    let _ = std::thread::Builder::new()
+                        .name(format!("ccchaos-{}-conn", profile.lane))
+                        .spawn(move || proxy_connection(stream, upstream, fault, stall_for));
+                }
+            })
+            .map_err(|e| CacheCloudError::Io(e.to_string()))?;
+        Ok(FaultyListener {
+            addr,
+            down,
+            stall_all_ms,
+            accepted,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address — hand this to peers/clients in place of
+    /// the upstream node's real address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Marks the proxied node dead (`true`) or alive (`false`). While
+    /// dead, every arriving connection is dropped immediately.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// Forces every connection to stall for `d` (`None` restores the
+    /// profile's probabilistic behavior). Used to script deadline
+    /// expirations deterministically.
+    pub fn set_stall_all(&self, d: Option<Duration>) {
+        let ms = d.map_or(0, |d| d.as_millis().max(1) as u64);
+        self.stall_all_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Connections accepted so far (including dropped ones).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stops the proxy and joins its accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `accept` returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultyListener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forwards one client connection frame by frame, applying `fault`.
+fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: FaultKind, stall: Duration) {
+    if fault == FaultKind::Reset {
+        return; // dropping the stream closes the connection
+    }
+    if fault == FaultKind::Stall {
+        std::thread::sleep(stall);
+    }
+    let Ok(up) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let (Ok(mut client_w), Ok(mut up_w)) = (client.try_clone(), up.try_clone()) else {
+        return;
+    };
+    let mut client_r = BufReader::new(client);
+    let mut up_r = BufReader::new(up);
+    // One request/response exchange per loop turn (the wire protocol is
+    // strictly alternating on a connection).
+    loop {
+        let Ok(Some(req)) = read_frame(&mut client_r) else {
+            return;
+        };
+        if write_frame(&mut up_w, &req).is_err() {
+            return;
+        }
+        let Ok(Some(resp)) = read_frame(&mut up_r) else {
+            return;
+        };
+        if fault == FaultKind::Partial {
+            // Announce the full frame, deliver half of it, vanish.
+            let mut wire = Vec::with_capacity(4 + resp.len());
+            wire.extend_from_slice(&(resp.len() as u32).to_be_bytes());
+            wire.extend_from_slice(&resp);
+            wire.truncate(4 + resp.len() / 2);
+            use std::io::Write;
+            let _ = client_w.write_all(&wire);
+            let _ = client_w.flush();
+            return;
+        }
+        if write_frame(&mut client_w, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_validate_and_replay() {
+        assert!(ChaosProfile::new(1, 0).validate().is_ok());
+        let mut p = ChaosProfile::new(1, 0);
+        p.reset = 0.6;
+        p.partial = 0.6;
+        assert!(p.validate().is_err());
+        p.partial = 0.2;
+        p.stall = 0.1;
+        p.validate().unwrap();
+        let a: Vec<FaultKind> = (0..100).map(|s| p.decide(s)).collect();
+        let b: Vec<FaultKind> = (0..100).map(|s| p.decide(s)).collect();
+        assert_eq!(a, b, "fault sequences replay under a fixed seed");
+        assert!(a.contains(&FaultKind::Reset));
+        assert!(a.contains(&FaultKind::Transparent));
+    }
+
+    #[test]
+    fn fault_rates_roughly_match_probabilities() {
+        let mut p = ChaosProfile::new(42, 3);
+        p.reset = 0.2;
+        let n = 10_000;
+        let resets = (0..n).filter(|s| p.decide(*s) == FaultKind::Reset).count();
+        let rate = resets as f64 / n as f64;
+        assert!((0.17..0.23).contains(&rate), "reset rate {rate}");
+    }
+}

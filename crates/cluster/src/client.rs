@@ -10,7 +10,8 @@ use cachecloud_metrics::telemetry::NodeStats;
 use cachecloud_types::{CacheCloudError, CacheId, Capability};
 use parking_lot::RwLock;
 
-use crate::node::rpc;
+use crate::node::rpc_once;
+use crate::retry::RetryPolicy;
 use crate::route::{RangeEntry, RouteTable};
 use crate::wire::{Request, Response};
 
@@ -22,15 +23,28 @@ use crate::wire::{Request, Response};
 /// cloud's *rebalancing coordinator*: [`CloudClient::rebalance`] collects
 /// every node's per-IrH load ledger, runs the paper's sub-range
 /// determination, and installs the new table cloud-wide.
+///
+/// Every RPC runs under a [`RetryPolicy`] (bounded attempts, deterministic
+/// backoff, per-request deadline), and routed operations — [`fetch`],
+/// [`publish`], [`update`], [`refresh_table`] — fail over to the next ring
+/// member when a node is unreachable, so a dead beacon degrades service
+/// instead of failing it.
+///
+/// [`fetch`]: CloudClient::fetch
+/// [`publish`]: CloudClient::publish
+/// [`update`]: CloudClient::update
+/// [`refresh_table`]: CloudClient::refresh_table
 #[derive(Debug, Clone)]
 pub struct CloudClient {
     peers: Vec<SocketAddr>,
     table: Arc<RwLock<RouteTable>>,
+    retry: RetryPolicy,
 }
 
 impl CloudClient {
     /// Creates a client for a cloud with the given node addresses (indexed
-    /// by node id), assuming the deterministic initial routing table.
+    /// by node id), assuming the deterministic initial routing table and
+    /// the default [`RetryPolicy`].
     ///
     /// # Errors
     ///
@@ -51,7 +65,50 @@ impl CloudClient {
         Ok(CloudClient {
             peers,
             table: Arc::new(RwLock::new(table)),
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Replaces the client's retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] when the policy is
+    /// invalid (see [`RetryPolicy::validate`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Result<Self, CacheCloudError> {
+        retry.validate()?;
+        self.retry = retry;
+        Ok(self)
+    }
+
+    /// One RPC to a specific node, retried under the client's policy with
+    /// each attempt bounded by the remaining time budget.
+    fn rpc(&self, addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
+        let lane = u64::from(addr.port());
+        let (out, _) = self.retry.run(lane, "client rpc", |budget| {
+            rpc_once(addr, req, Some(budget))
+        });
+        out
+    }
+
+    /// Sends `req` to the first candidate that answers, skipping nodes that
+    /// fail with a transport-class error (refused, reset, timed out,
+    /// exhausted retries). Non-transport errors — a real answer from a live
+    /// node — stop the failover immediately.
+    fn rpc_failover(&self, candidates: &[u32], req: &Request) -> Result<Response, CacheCloudError> {
+        let mut last: Option<CacheCloudError> = None;
+        for &node in candidates {
+            let Some(addr) = self.peers.get(node as usize) else {
+                continue;
+            };
+            match self.rpc(*addr, req) {
+                Err(e) if e.is_transport() => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            CacheCloudError::Protocol("no candidate node has a known address".into())
+        }))
     }
 
     /// Number of nodes in the cloud.
@@ -75,13 +132,15 @@ impl CloudClient {
         self.table.read().version
     }
 
-    /// Refreshes the client's routing table from a node.
+    /// Refreshes the client's routing table from a node, trying each node
+    /// in turn until one answers.
     ///
     /// # Errors
     ///
     /// Propagates transport and protocol errors.
     pub fn refresh_table(&self) -> Result<u64, CacheCloudError> {
-        match rpc(self.peers[0], &Request::GetTable)? {
+        let all: Vec<u32> = (0..self.peers.len() as u32).collect();
+        match self.rpc_failover(&all, &Request::GetTable)? {
             Response::Table { table } => {
                 let version = table.version;
                 let mut current = self.table.write();
@@ -95,15 +154,16 @@ impl CloudClient {
     }
 
     /// Publishes a document body into the cloud: stores it at its beacon
-    /// node (which registers itself as a holder).
+    /// node (which registers itself as a holder), failing over to the next
+    /// ring member when the beacon is unreachable.
     ///
     /// # Errors
     ///
     /// Propagates transport and protocol errors.
     pub fn publish(&self, url: &str, body: Vec<u8>, version: u64) -> Result<(), CacheCloudError> {
-        let beacon = self.beacon_of(url);
-        let resp = rpc(
-            self.peers[beacon as usize],
+        let candidates = self.table.read().beacon_candidates_of_url(url);
+        let resp = self.rpc_failover(
+            &candidates,
             &Request::Put {
                 url: url.to_owned(),
                 version,
@@ -130,7 +190,7 @@ impl CloudClient {
             .peers
             .get(via as usize)
             .ok_or(CacheCloudError::UnknownCache(CacheId(via as usize)))?;
-        match rpc(
+        match self.rpc(
             *addr,
             &Request::Serve {
                 url: url.to_owned(),
@@ -143,25 +203,43 @@ impl CloudClient {
         }
     }
 
-    /// Fetches `url` via the document's beacon node.
+    /// Fetches `url` via the document's beacon node, failing over to the
+    /// next ring member when that node is unreachable. `Ok(None)` means no
+    /// cloud copy was reachable and the caller should fetch from the
+    /// origin.
     ///
     /// # Errors
     ///
-    /// See [`CloudClient::fetch_via`].
+    /// See [`CloudClient::fetch_via`]; transport errors surface only when
+    /// every ring member is unreachable.
     pub fn fetch(&self, url: &str) -> Result<Option<(Vec<u8>, u64)>, CacheCloudError> {
-        self.fetch_via(self.beacon_of(url), url)
+        let candidates = self.table.read().beacon_candidates_of_url(url);
+        let mut last: Option<CacheCloudError> = None;
+        for via in candidates {
+            match self.fetch_via(via, url) {
+                Err(e) if e.is_transport() => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            CacheCloudError::Protocol("no candidate node has a known address".into())
+        }))
     }
 
     /// Origin-side update: pushes a new version to the document's beacon,
     /// which fans it out to every holder (the paper's update protocol).
+    /// When the beacon is unreachable the update fails over to the next
+    /// ring member; with lazily replicated directories (paper §3.3) the
+    /// partner may know fewer holders, in which case stale copies are
+    /// refreshed on the next request instead.
     ///
     /// # Errors
     ///
     /// Propagates transport and protocol errors.
     pub fn update(&self, url: &str, body: Vec<u8>, version: u64) -> Result<(), CacheCloudError> {
-        let beacon = self.beacon_of(url);
-        let resp = rpc(
-            self.peers[beacon as usize],
+        let candidates = self.table.read().beacon_candidates_of_url(url);
+        let resp = self.rpc_failover(
+            &candidates,
             &Request::Update {
                 url: url.to_owned(),
                 version,
@@ -183,7 +261,7 @@ impl CloudClient {
             .peers
             .get(node as usize)
             .ok_or(CacheCloudError::UnknownCache(CacheId(node as usize)))?;
-        match rpc(*addr, &Request::Stats)? {
+        match self.rpc(*addr, &Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
             other => Err(unexpected(other)),
         }
@@ -215,7 +293,7 @@ impl CloudClient {
             .peers
             .get(node as usize)
             .ok_or(CacheCloudError::UnknownCache(CacheId(node as usize)))?;
-        match rpc(*addr, &Request::Ping)? {
+        match self.rpc(*addr, &Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -242,7 +320,7 @@ impl CloudClient {
         let mut loads: std::collections::HashMap<(u32, u64), f64> =
             std::collections::HashMap::new();
         for addr in &self.peers {
-            match rpc(*addr, &Request::GetLoad)? {
+            match self.rpc(*addr, &Request::GetLoad)? {
                 Response::Load { entries } => {
                     for (ring, irh, load) in entries {
                         *loads.entry((ring, irh)).or_insert(0.0) += load;
@@ -286,13 +364,13 @@ impl CloudClient {
             irh_gen: current.irh_gen,
             rings: new_rings,
         };
-        new_table
-            .validate()
-            .expect("determination preserves tiling");
+        // Determination preserves tiling; surface a typed error (rather
+        // than panicking mid-coordination) if that ever breaks.
+        new_table.validate()?;
 
         // 3. Install cloud-wide.
         for addr in &self.peers {
-            expect_ok(rpc(
+            expect_ok(self.rpc(
                 *addr,
                 &Request::SetRanges {
                     table: new_table.clone(),

@@ -117,6 +117,7 @@ impl LocalCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::RetryPolicy;
 
     #[test]
     fn spawn_zero_rejected() {
@@ -124,85 +125,89 @@ mod tests {
     }
 
     #[test]
-    fn publish_fetch_roundtrip() {
-        let cluster = LocalCluster::spawn(3).unwrap();
+    fn publish_fetch_roundtrip() -> Result<(), CacheCloudError> {
+        let cluster = LocalCluster::spawn(3)?;
         let client = cluster.client();
-        client.publish("/a", b"alpha".to_vec(), 1).unwrap();
-        let (body, version) = client.fetch("/a").unwrap().expect("present");
+        client.publish("/a", b"alpha".to_vec(), 1)?;
+        let (body, version) = client.fetch("/a")?.expect("present");
         assert_eq!(body, b"alpha");
         assert_eq!(version, 1);
-        assert!(client.fetch("/missing").unwrap().is_none());
+        assert!(client.fetch("/missing")?.is_none());
         cluster.shutdown();
+        Ok(())
     }
 
     #[test]
-    fn cooperative_fetch_pulls_from_peer() {
-        let cluster = LocalCluster::spawn(4).unwrap();
+    fn cooperative_fetch_pulls_from_peer() -> Result<(), CacheCloudError> {
+        let cluster = LocalCluster::spawn(4)?;
         let client = cluster.client();
-        client.publish("/doc", b"payload".to_vec(), 7).unwrap();
+        client.publish("/doc", b"payload".to_vec(), 7)?;
         let beacon = client.beacon_of("/doc");
         // Fetch via a node that is NOT the beacon: local miss -> beacon
         // lookup -> peer fetch -> local store.
         let other = (beacon + 1) % 4;
-        let (body, _) = client.fetch_via(other, "/doc").unwrap().expect("served");
+        let (body, _) = client.fetch_via(other, "/doc")?.expect("served");
         assert_eq!(body, b"payload");
         // The first fetch was a cloud hit (peer fetch); the stored copy
         // makes the second fetch a local hit.
-        let before = client.stats(other).unwrap();
+        let before = client.stats(other)?;
         assert_eq!(before.counter("cloud_hits"), 1);
         assert_eq!(before.counter("peer_fetches"), 1);
-        client.fetch_via(other, "/doc").unwrap().expect("served");
-        let after = client.stats(other).unwrap();
+        client.fetch_via(other, "/doc")?.expect("served");
+        let after = client.stats(other)?;
         assert_eq!(
             after.counter("local_hits"),
             before.counter("local_hits") + 1
         );
         assert_eq!(after.counter("requests"), before.counter("requests") + 1);
         cluster.shutdown();
+        Ok(())
     }
 
     #[test]
-    fn update_fans_out_to_all_holders() {
-        let cluster = LocalCluster::spawn(4).unwrap();
+    fn update_fans_out_to_all_holders() -> Result<(), CacheCloudError> {
+        let cluster = LocalCluster::spawn(4)?;
         let client = cluster.client();
-        client.publish("/score", b"0-0".to_vec(), 1).unwrap();
+        client.publish("/score", b"0-0".to_vec(), 1)?;
         // Replicate the copy to every node by fetching through each.
         for node in 0..4 {
-            client.fetch_via(node, "/score").unwrap().expect("served");
+            client.fetch_via(node, "/score")?.expect("served");
         }
-        client.update("/score", b"1-0".to_vec(), 2).unwrap();
+        client.update("/score", b"1-0".to_vec(), 2)?;
         // Every node now serves the new version locally.
         for node in 0..4 {
-            let (body, version) = client.fetch_via(node, "/score").unwrap().expect("served");
+            let (body, version) = client.fetch_via(node, "/score")?.expect("served");
             assert_eq!(version, 2, "node {node} is stale");
             assert_eq!(body, b"1-0");
         }
         cluster.shutdown();
+        Ok(())
     }
 
     #[test]
-    fn ping_and_stats() {
-        let cluster = LocalCluster::spawn(2).unwrap();
+    fn ping_and_stats() -> Result<(), CacheCloudError> {
+        let cluster = LocalCluster::spawn(2)?;
         let client = cluster.client();
-        client.ping(0).unwrap();
-        client.ping(1).unwrap();
+        client.ping(0)?;
+        client.ping(1)?;
         assert!(client.ping(9).is_err());
-        client.publish("/s", vec![1, 2, 3], 1).unwrap();
+        client.publish("/s", vec![1, 2, 3], 1)?;
         let beacon = client.beacon_of("/s");
-        let stats = client.stats(beacon).unwrap();
+        let stats = client.stats(beacon)?;
         assert_eq!(stats.node, beacon);
         assert_eq!(stats.resident, 1);
         assert_eq!(stats.directory_records, 1);
         assert_eq!(stats.counter("stores"), 1);
         assert_eq!(stats.counter("registrations"), 1);
         cluster.shutdown();
+        Ok(())
     }
 
     #[test]
-    fn bounded_nodes_evict_and_deregister() {
+    fn bounded_nodes_evict_and_deregister() -> Result<(), CacheCloudError> {
         // Tiny stores: publishing a second document evicts the first at its
         // holder and removes the directory record.
-        let cluster = LocalCluster::spawn_with_capacity(2, ByteSize::from_bytes(8)).unwrap();
+        let cluster = LocalCluster::spawn_with_capacity(2, ByteSize::from_bytes(8))?;
         let client = cluster.client();
         // Find two URLs with the same beacon so they contend for one store.
         let mut urls = Vec::new();
@@ -216,15 +221,48 @@ mod tests {
             }
         }
         let [a, b]: [String; 2] = urls.try_into().expect("found two node-0 urls");
-        client.publish(&a, vec![1u8; 6], 1).unwrap();
-        client.publish(&b, vec![2u8; 6], 1).unwrap();
-        let stats = client.stats(0).unwrap();
+        client.publish(&a, vec![1u8; 6], 1)?;
+        client.publish(&b, vec![2u8; 6], 1)?;
+        let stats = client.stats(0)?;
         assert_eq!(stats.resident, 1, "capacity 8 holds only one 6-byte body");
         assert_eq!(stats.counter("evictions"), 1);
         assert_eq!(stats.counter("unregistrations"), 1);
         // The evicted document is gone from the cloud entirely.
-        assert!(client.fetch(&a).unwrap().is_none());
-        assert!(client.fetch(&b).unwrap().is_some());
+        assert!(client.fetch(&a)?.is_none());
+        assert!(client.fetch(&b)?.is_some());
         cluster.shutdown();
+        Ok(())
+    }
+
+    #[test]
+    fn refused_connections_surface_typed_errors() -> Result<(), CacheCloudError> {
+        // Reserve addresses nobody listens on: bind ephemeral ports, note
+        // them, drop the listeners.
+        let dead: Vec<SocketAddr> = (0..2)
+            .map(|_| {
+                let l = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+                l.local_addr().map_err(CacheCloudError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        let client = CloudClient::new(dead)?.with_retry(RetryPolicy {
+            max_attempts: 2,
+            deadline: std::time::Duration::from_millis(500),
+            ..RetryPolicy::fast()
+        })?;
+        // Every path returns a typed transport error — no panic, no
+        // unwrap-on-refused anywhere in the client.
+        let err = client.ping(0).expect_err("nobody is listening");
+        assert!(err.is_transport(), "untyped error: {err:?}");
+        assert!(
+            matches!(err, CacheCloudError::Exhausted { attempts: 2, .. }),
+            "expected Exhausted after 2 attempts, got {err:?}"
+        );
+        let err = client.fetch("/gone").expect_err("whole ring is down");
+        assert!(err.is_transport(), "untyped error: {err:?}");
+        let err = client
+            .publish("/gone", b"x".to_vec(), 1)
+            .expect_err("whole ring is down");
+        assert!(err.is_transport(), "untyped error: {err:?}");
+        Ok(())
     }
 }

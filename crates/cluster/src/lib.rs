@@ -33,15 +33,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod node;
+pub mod retry;
 pub mod route;
 pub mod wire;
 
 pub use cachecloud_metrics::telemetry::{Event, EventKind, EventSink, NodeStats};
+pub use chaos::{ChaosProfile, FaultKind, FaultyListener};
 pub use client::CloudClient;
 pub use cluster::LocalCluster;
 pub use node::{CacheNode, NodeConfig};
+pub use retry::{RetryPolicy, RetryReport};
 pub use route::RouteTable;
 pub use wire::{Request, Response};

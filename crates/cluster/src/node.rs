@@ -15,7 +15,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cachecloud_metrics::telemetry::{
@@ -25,6 +25,7 @@ use cachecloud_storage::{CacheStore, LruPolicy};
 use cachecloud_types::{ByteSize, CacheCloudError, DocId, SimTime, Version};
 use parking_lot::{Mutex, RwLock};
 
+use crate::retry::RetryPolicy;
 use crate::route::RouteTable;
 use crate::wire::{read_frame, write_frame, Request, Response};
 
@@ -43,6 +44,8 @@ pub struct NodeConfig {
     pub points_per_ring: usize,
     /// Intra-ring hash generator.
     pub irh_gen: u64,
+    /// Retry policy of this node's outgoing peer RPCs.
+    pub retry: RetryPolicy,
 }
 
 impl NodeConfig {
@@ -60,6 +63,7 @@ impl NodeConfig {
             capacity,
             points_per_ring,
             irh_gen: 1024,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -103,6 +107,10 @@ struct NodeTelemetry {
     update_deliveries: Counter,
     handoff_records: Counter,
     rpc_errors: Counter,
+    rpc_retries: Counter,
+    rpc_timeouts: Counter,
+    origin_fallbacks: Counter,
+    beacon_failovers: Counter,
     /// Outgoing peer-RPC latency in milliseconds.
     rpc_ms: Arc<AtomicHistogram>,
     /// End-to-end `Serve` handling latency in milliseconds.
@@ -134,6 +142,10 @@ impl NodeTelemetry {
             update_deliveries: c(EventKind::UpdateDelivery),
             handoff_records: c(EventKind::HandoffRecord),
             rpc_errors: c(EventKind::RpcError),
+            rpc_retries: c(EventKind::RpcRetry),
+            rpc_timeouts: c(EventKind::RpcTimeout),
+            origin_fallbacks: c(EventKind::OriginFallback),
+            beacon_failovers: c(EventKind::BeaconFailover),
             rpc_ms: registry.histogram("rpc_ms", 0.0, 250.0, 50),
             serve_ms: registry.histogram("serve_ms", 0.0, 250.0, 50),
             epoch: Instant::now(),
@@ -170,6 +182,8 @@ struct State {
     loads: Mutex<HashMap<(u32, u64), f64>>,
     /// Lifecycle counters, latency histograms and the event log.
     telemetry: NodeTelemetry,
+    /// Retry policy applied to every outgoing peer RPC.
+    retry: RetryPolicy,
     shutdown: AtomicBool,
 }
 
@@ -186,14 +200,24 @@ impl State {
         *self.loads.lock().entry(key).or_insert(0.0) += 1.0;
     }
 
-    /// One peer RPC with latency recorded in `rpc_ms` and failures counted
-    /// under `rpc_errors`.
+    /// One peer RPC under the node's [`RetryPolicy`]: bounded attempts with
+    /// deterministic backoff and a per-request deadline. Latency is
+    /// recorded in `rpc_ms` (whole call, retries included); re-attempts are
+    /// counted under `rpc_retries`, deadline failures under `rpc_timeouts`,
+    /// and any final failure under `rpc_errors`.
     fn rpc(&self, addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
         let t0 = Instant::now();
-        let out = rpc(addr, req);
+        let lane = u64::from(addr.port());
+        let (out, report) = self
+            .retry
+            .run(lane, "peer rpc", |budget| rpc_once(addr, req, Some(budget)));
         self.telemetry
             .rpc_ms
             .record(t0.elapsed().as_secs_f64() * 1e3);
+        self.telemetry.rpc_retries.add(u64::from(report.retries));
+        if report.timed_out {
+            self.telemetry.rpc_timeouts.inc();
+        }
         if out.is_err() {
             self.telemetry.rpc_errors.inc();
         }
@@ -261,6 +285,7 @@ impl CacheNode {
             table: RwLock::new(table),
             loads: Mutex::new(HashMap::new()),
             telemetry: NodeTelemetry::new(sinks),
+            retry: config.retry,
             shutdown: AtomicBool::new(false),
         });
         let thread_state = Arc::clone(&state);
@@ -639,32 +664,59 @@ fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Respons
         };
     }
 
-    // 2. Beacon lookup.
+    // 2. Beacon lookup, failing over along the ring. Ring partners carry
+    // lazily replicated directory state (paper §3.3), so when the primary
+    // beacon is dead the next ring member can still answer — worst case
+    // with an empty holder list, which degrades the request to the origin
+    // instead of failing it.
     state.telemetry.beacon_lookups.inc();
     state
         .telemetry
         .emit(config.id, EventKind::BeaconLookup, Some(&url));
-    let b = state.beacon_of(&url);
+    let candidates = state.table.read().beacon_candidates_of_url(&url);
     let lookup = Request::Lookup { url: url.clone() };
-    let holders = if b == config.id {
-        handle(lookup, state, config)
-    } else {
-        match config.peers.get(b as usize).map(|a| state.rpc(*a, &lookup)) {
-            Some(Ok(r)) => r,
-            _ => {
-                return Response::Error {
-                    message: "beacon unreachable".into(),
-                }
+    let mut holders = None;
+    for (i, b) in candidates.iter().copied().enumerate() {
+        let resp = if b == config.id {
+            handle(lookup.clone(), state, config)
+        } else {
+            match config.peers.get(b as usize).map(|a| state.rpc(*a, &lookup)) {
+                Some(Ok(r)) => r,
+                _ => continue,
             }
+        };
+        if let Response::Holders { holders: hs, .. } = resp {
+            if i > 0 {
+                state.telemetry.beacon_failovers.inc();
+                state
+                    .telemetry
+                    .emit(config.id, EventKind::BeaconFailover, Some(&url));
+            }
+            holders = Some(hs);
+            break;
         }
-    };
-    let Response::Holders { holders, .. } = holders else {
         return Response::Error {
             message: "unexpected beacon response".into(),
         };
+    }
+    let Some(holders) = holders else {
+        // Every ring member is unreachable: degrade gracefully and let the
+        // client fetch from the origin.
+        state.telemetry.origin_fallbacks.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::OriginFallback, Some(&url));
+        state.telemetry.origin_fetches.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::OriginFetch, Some(&url));
+        return Response::NotFound;
     };
 
     // 3. Fetch from the first reachable holder, store, and serve.
+    let had_peer_holders = holders
+        .iter()
+        .any(|h| *h != config.id && config.peers.get(*h as usize).is_some());
     for h in holders {
         if h == config.id {
             continue;
@@ -692,7 +744,15 @@ fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Respons
             .emit(config.id, EventKind::PeerFetchFailure, Some(&url));
     }
 
-    // No cached copy anywhere: the client will fall through to the origin.
+    // No cached copy was reachable: the client will fall through to the
+    // origin. When holders existed but every fetch failed, that is a
+    // degradation, not a plain miss — count it.
+    if had_peer_holders {
+        state.telemetry.origin_fallbacks.inc();
+        state
+            .telemetry
+            .emit(config.id, EventKind::OriginFallback, Some(&url));
+    }
     state.telemetry.origin_fetches.inc();
     state
         .telemetry
@@ -700,18 +760,40 @@ fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Respons
     Response::NotFound
 }
 
-/// One blocking request/response exchange with a peer. Failures carry the
-/// peer's address so cooperative-path errors name the node that caused them.
-pub(crate) fn rpc(addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
-    rpc_inner(addr, req).map_err(|e| match e {
+/// One blocking request/response exchange with a peer. The whole exchange
+/// (connect, write, read) is bounded by `timeout` when one is given, so a
+/// stalled peer cannot hold a caller past its retry deadline. Failures
+/// carry the peer's address so cooperative-path errors name the node that
+/// caused them.
+pub(crate) fn rpc_once(
+    addr: SocketAddr,
+    req: &Request,
+    timeout: Option<Duration>,
+) -> Result<Response, CacheCloudError> {
+    rpc_inner(addr, req, timeout).map_err(|e| match e {
         CacheCloudError::Io(m) => CacheCloudError::Io(format!("peer {addr}: {m}")),
         CacheCloudError::Protocol(m) => CacheCloudError::Protocol(format!("peer {addr}: {m}")),
         other => other,
     })
 }
 
-fn rpc_inner(addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
-    let stream = TcpStream::connect(addr)?;
+fn rpc_inner(
+    addr: SocketAddr,
+    req: &Request,
+    timeout: Option<Duration>,
+) -> Result<Response, CacheCloudError> {
+    let stream = match timeout {
+        // A zero timeout would mean "no timeout" to the socket API; clamp
+        // to something that still fails fast.
+        Some(t) => {
+            let t = t.max(Duration::from_millis(1));
+            let stream = TcpStream::connect_timeout(&addr, t)?;
+            stream.set_read_timeout(Some(t))?;
+            stream.set_write_timeout(Some(t))?;
+            stream
+        }
+        None => TcpStream::connect(addr)?,
+    };
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     write_frame(&mut writer, &req.encode())?;

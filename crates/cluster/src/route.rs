@@ -122,6 +122,29 @@ impl RouteTable {
         self.beacon_of(&DocId::from_url(url))
     }
 
+    /// Lookup candidates for `doc`, primary beacon first, then the other
+    /// members of its ring in sub-range order.
+    ///
+    /// Ring partners hold lazily replicated directory state (paper §3.3):
+    /// when the primary beacon is unreachable, a lookup retried against the
+    /// next ring member either finds the record or — worst case — reports
+    /// no holders and the request degrades to the origin. Either way the
+    /// request completes.
+    pub fn beacon_candidates_of(&self, doc: &DocId) -> Vec<u32> {
+        let ring = &self.rings[self.ring_of(doc)];
+        let primary = self.beacon_of(doc);
+        let mut out = Vec::with_capacity(ring.len());
+        out.push(primary);
+        out.extend(ring.iter().map(|e| e.node).filter(|n| *n != primary));
+        out
+    }
+
+    /// Lookup candidates for a raw URL (see
+    /// [`RouteTable::beacon_candidates_of`]).
+    pub fn beacon_candidates_of_url(&self, url: &str) -> Vec<u32> {
+        self.beacon_candidates_of(&DocId::from_url(url))
+    }
+
     /// Validates tiling and returns an error description on corruption.
     ///
     /// # Errors
@@ -251,6 +274,23 @@ mod tests {
             RouteTable::initial(8, 2, 512),
             RouteTable::initial(8, 2, 512)
         );
+    }
+
+    #[test]
+    fn beacon_candidates_cover_the_ring_primary_first() {
+        let t = RouteTable::initial(6, 3, 100);
+        for i in 0..200 {
+            let d = DocId::from_url(format!("/c/{i}"));
+            let cands = t.beacon_candidates_of(&d);
+            assert_eq!(cands[0], t.beacon_of(&d), "primary leads");
+            assert_eq!(cands.len(), 3, "every ring member is a candidate");
+            let ring: Vec<u32> = t.rings[t.ring_of(&d)].iter().map(|e| e.node).collect();
+            let mut sorted = cands.clone();
+            sorted.sort_unstable();
+            let mut ring_sorted = ring;
+            ring_sorted.sort_unstable();
+            assert_eq!(sorted, ring_sorted, "candidates are exactly the ring");
+        }
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Chaos suite: a live cloud behind fault-injecting proxies.
+//!
+//! Every node's listen address is hidden behind a [`FaultyListener`], so
+//! both client→node and node→peer connections pass through the proxy and
+//! are subject to its seeded fault schedule (resets, partial writes,
+//! stalls, dead nodes). The suite asserts the resilience contract:
+//!
+//! - requests succeed (by retry or origin fallback) or fail with a *typed*
+//!   error, within the configured deadlines — never a panic, never a hang;
+//! - a dead beacon degrades service (ring failover, origin fallback)
+//!   instead of failing it;
+//! - the directory stays consistent across a beacon death mid-rebalance;
+//! - telemetry reconciles: `rpc_errors` = exhausted finals + `rpc_timeouts`.
+//!
+//! Seeds come from `CHAOS_SEEDS` (comma-separated, default `11,23`), and
+//! every fault decision derives from them, so failures replay exactly.
+
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cachecloud_cluster::{
+    CacheNode, ChaosProfile, CloudClient, FaultyListener, NodeConfig, RetryPolicy,
+};
+use cachecloud_types::{ByteSize, CacheCloudError};
+
+/// Aborts the whole process if a test outlives its budget (a hung chaos
+/// test would otherwise stall CI until the harness-level timeout).
+struct Watchdog {
+    armed: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(limit: Duration, name: &'static str) -> Self {
+        let armed = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&armed);
+        std::thread::spawn(move || {
+            std::thread::sleep(limit);
+            if flag.load(Ordering::SeqCst) {
+                eprintln!("watchdog: {name} exceeded {limit:?}; aborting");
+                std::process::abort();
+            }
+        });
+        Watchdog { armed }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+}
+
+/// The seeds every scenario replays under.
+fn seeds() -> Vec<u64> {
+    std::env::var("CHAOS_SEEDS")
+        .unwrap_or_else(|_| "11,23".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// A tight node-side policy: peer RPCs give up well inside the client's
+/// budget, so nested retries never starve the outer deadline.
+fn node_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        deadline: Duration::from_millis(300),
+        jitter: 0.5,
+        seed,
+    }
+}
+
+/// The client-side policy: a larger budget wrapping the node-side one.
+fn client_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(40),
+        deadline: Duration::from_secs(2),
+        jitter: 0.5,
+        seed,
+    }
+}
+
+/// A loopback cloud whose every socket sits behind a fault proxy.
+struct ChaosCloud {
+    nodes: Vec<CacheNode>,
+    proxies: Vec<FaultyListener>,
+    client: CloudClient,
+}
+
+impl ChaosCloud {
+    /// Spawns `n` nodes; node `i`'s proxy runs `profile_of(i)`. Peers and
+    /// the client all dial the proxies, never the real listeners.
+    fn spawn(
+        n: usize,
+        seed: u64,
+        capacity: ByteSize,
+        node_policy: RetryPolicy,
+        profile_of: impl Fn(u64) -> ChaosProfile,
+    ) -> Result<ChaosCloud, CacheCloudError> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).map_err(CacheCloudError::from))
+            .collect::<Result<_, _>>()?;
+        let real: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().map_err(CacheCloudError::from))
+            .collect::<Result<_, _>>()?;
+        let proxies: Vec<FaultyListener> = real
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| FaultyListener::spawn(*addr, profile_of(i as u64)))
+            .collect::<Result<_, _>>()?;
+        let peers: Vec<SocketAddr> = proxies.iter().map(|p| p.addr()).collect();
+        let nodes = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(id, listener)| {
+                let mut cfg = NodeConfig::new(id as u32, peers.clone(), capacity);
+                cfg.retry = node_policy;
+                CacheNode::start_on(cfg, listener)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let client = CloudClient::new(peers)?.with_retry(client_retry(seed))?;
+        Ok(ChaosCloud {
+            nodes,
+            proxies,
+            client,
+        })
+    }
+
+    fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+        for proxy in self.proxies {
+            proxy.shutdown();
+        }
+    }
+}
+
+/// One full workload against a cloud dropping 20% of connections:
+/// publishes then three rounds of fetches through every node. Returns
+/// `(successes, typed_failures)`; panics on any untyped failure or an
+/// overrun deadline.
+fn run_faulted_workload(seed: u64) -> (u64, u64) {
+    let cloud = ChaosCloud::spawn(4, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
+        let mut p = ChaosProfile::new(seed, lane);
+        p.reset = 0.2;
+        p
+    })
+    .expect("cloud spawns");
+    let client = &cloud.client;
+    let urls: Vec<String> = (0..12).map(|i| format!("/chaos/{i}")).collect();
+
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut record = |r: Result<(), CacheCloudError>, elapsed: Duration| {
+        // The client's deadline bounds each RPC; failover multiplies it by
+        // the ring candidates (2 here). Allow slack for scheduling.
+        assert!(
+            elapsed < Duration::from_secs(6),
+            "request overran its deadline budget: {elapsed:?}"
+        );
+        match r {
+            Ok(()) => ok += 1,
+            Err(e) => {
+                assert!(e.is_transport(), "untyped failure: {e:?}");
+                failed += 1;
+            }
+        }
+    };
+
+    for (i, url) in urls.iter().enumerate() {
+        let t0 = Instant::now();
+        let r = client.publish(url, format!("body-{i}").into_bytes(), 1);
+        record(r, t0.elapsed());
+    }
+    for round in 0..3u32 {
+        for (i, url) in urls.iter().enumerate() {
+            let via = (round as usize * urls.len() + i) % 4;
+            let t0 = Instant::now();
+            let r = client.fetch_via(via as u32, url).map(|_| ());
+            record(r, t0.elapsed());
+        }
+    }
+
+    let stats = client.cloud_stats().expect("stats reachable with retries");
+    assert!(
+        stats.counter("rpc_retries") > 0,
+        "20% connection drops must force retries"
+    );
+    assert_eq!(
+        stats.counter("requests"),
+        stats.counter("local_hits") + stats.counter("cloud_hits") + stats.counter("origin_fetches"),
+        "every request is accounted for"
+    );
+    cloud.shutdown();
+    (ok, failed)
+}
+
+#[test]
+fn requests_succeed_under_connection_faults() {
+    let _wd = Watchdog::arm(
+        Duration::from_secs(180),
+        "requests_succeed_under_connection_faults",
+    );
+    for seed in seeds() {
+        let first = run_faulted_workload(seed);
+        let second = run_faulted_workload(seed);
+        assert_eq!(
+            first, second,
+            "seed {seed}: the fault schedule must replay identically"
+        );
+        let (ok, failed) = first;
+        let rate = ok as f64 / (ok + failed) as f64;
+        assert!(
+            rate >= 0.99,
+            "seed {seed}: success rate {rate:.4} ({ok} ok, {failed} failed)"
+        );
+    }
+}
+
+#[test]
+fn dead_beacon_degrades_to_failover_and_origin() -> Result<(), CacheCloudError> {
+    let _wd = Watchdog::arm(
+        Duration::from_secs(120),
+        "dead_beacon_degrades_to_failover_and_origin",
+    );
+    let seed = seeds()[0];
+    // 4 nodes, 2-point rings: ring {0, 2} and ring {1, 3}.
+    let cloud = ChaosCloud::spawn(4, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
+        ChaosProfile::new(seed, lane)
+    })?;
+    let client = &cloud.client;
+
+    // Documents whose beacon is node 0 (ring partner: node 2).
+    let urls: Vec<String> = (0..200)
+        .map(|i| format!("/dead/{i}"))
+        .filter(|u| client.beacon_of(u) == 0)
+        .take(4)
+        .collect();
+    assert_eq!(urls.len(), 4, "found documents homed on node 0");
+    for url in &urls {
+        client.publish(url, b"beacon-zero".to_vec(), 1)?;
+    }
+
+    // Kill the beacon, then the whole ring.
+    cloud.proxies[0].set_down(true);
+    for url in &urls {
+        // Client-side failover: fetch() walks the ring; node 0 is dead, so
+        // the request lands on node 2, which answers (possibly with an
+        // empty lazily-replicated directory -> origin fallback).
+        let t0 = Instant::now();
+        let r = client.fetch(url);
+        assert!(r.is_ok(), "dead beacon must degrade, not fail: {r:?}");
+        assert!(t0.elapsed() < Duration::from_secs(6));
+        // Node-side failover: a serve on a node outside the dead ring
+        // still completes.
+        let r = client.fetch_via(1, url);
+        assert!(r.is_ok(), "live node must degrade, not fail: {r:?}");
+    }
+    cloud.proxies[2].set_down(true);
+    for url in &urls {
+        // The whole ring {0, 2} is dead: node 1 cannot reach any beacon
+        // candidate and must degrade to the origin (Ok(None)), never hang
+        // or error.
+        let t0 = Instant::now();
+        let got = client.fetch_via(1, url)?;
+        assert_eq!(got, None, "unreachable ring degrades to origin");
+        assert!(t0.elapsed() < Duration::from_secs(6));
+    }
+
+    // Counters flow through the Stats wire: revive the ring and aggregate.
+    cloud.proxies[0].set_down(false);
+    cloud.proxies[2].set_down(false);
+    let stats = client.cloud_stats()?;
+    assert!(
+        stats.counter("beacon_failovers") > 0,
+        "ring partners answered for the dead beacon"
+    );
+    assert!(
+        stats.counter("origin_fallbacks") > 0,
+        "a fully dead ring degraded to the origin"
+    );
+    assert!(stats.counter("rpc_errors") > 0);
+    cloud.shutdown();
+    Ok(())
+}
+
+#[test]
+fn all_peer_holders_dead_falls_back_to_origin() -> Result<(), CacheCloudError> {
+    let _wd = Watchdog::arm(
+        Duration::from_secs(120),
+        "all_peer_holders_dead_falls_back_to_origin",
+    );
+    let seed = seeds()[0];
+    // Bounded stores so eviction can strip the beacon's own copy.
+    let cloud = ChaosCloud::spawn(4, seed, ByteSize::from_bytes(8), node_retry(seed), |lane| {
+        ChaosProfile::new(seed, lane)
+    })?;
+    let client = &cloud.client;
+
+    // A document homed on node 1 (alive throughout), plus two more node-1
+    // documents to evict it there.
+    let mut node1: Vec<String> = (0..400)
+        .map(|i| format!("/holders/{i}"))
+        .filter(|u| client.beacon_of(u) == 1)
+        .take(3)
+        .collect();
+    let victim = node1.remove(0);
+    client.publish(&victim, vec![7u8; 6], 1)?;
+    // Replicate the victim to node 0, then evict it from node 1 by
+    // publishing two more 6-byte bodies into node 1's 8-byte store.
+    let got = client.fetch_via(0, &victim)?;
+    assert!(got.is_some(), "replica created on node 0");
+    for url in &node1 {
+        client.publish(url, vec![9u8; 6], 1)?;
+    }
+    // Now node 0 is the only holder; kill it.
+    cloud.proxies[0].set_down(true);
+    let t0 = Instant::now();
+    let got = client.fetch_via(3, &victim)?;
+    assert_eq!(
+        got, None,
+        "every holder dead: the request degrades to the origin"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(6));
+
+    cloud.proxies[0].set_down(false);
+    let stats = client.cloud_stats()?;
+    assert!(
+        stats.counter("origin_fallbacks") > 0,
+        "holder failure was counted as a degradation"
+    );
+    assert!(stats.counter("peer_fetch_failures") > 0);
+    cloud.shutdown();
+    Ok(())
+}
+
+#[test]
+fn beacon_death_mid_rebalance_keeps_directory_consistent() -> Result<(), CacheCloudError> {
+    let _wd = Watchdog::arm(
+        Duration::from_secs(120),
+        "beacon_death_mid_rebalance_keeps_directory_consistent",
+    );
+    let seed = seeds()[0];
+    let cloud = ChaosCloud::spawn(4, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
+        ChaosProfile::new(seed, lane)
+    })?;
+    let client = &cloud.client;
+
+    let urls: Vec<String> = (0..10).map(|i| format!("/rebalance/{i}")).collect();
+    for (i, url) in urls.iter().enumerate() {
+        client.publish(url, format!("doc-{i}").into_bytes(), 1)?;
+        // Create beacon load and extra replicas so a rebalance has records
+        // to migrate.
+        client.fetch_via((i % 4) as u32, url)?;
+    }
+
+    // The coordinator loses a node mid-rebalance: typed error, no panic,
+    // no partial table install (loads are drained before any install).
+    cloud.proxies[1].set_down(true);
+    let err = client
+        .rebalance()
+        .expect_err("rebalancing through a dead node must fail");
+    assert!(err.is_transport(), "untyped rebalance failure: {err:?}");
+
+    // Service continues through the outage.
+    for url in &urls {
+        assert!(client.fetch(url).is_ok(), "fetch during outage");
+    }
+
+    // After the node returns, a rebalance completes and the directory is
+    // still consistent: every document resolves through every node with
+    // the right body.
+    cloud.proxies[1].set_down(false);
+    let version = client.rebalance()?;
+    assert!(version >= 1, "table version bumped");
+    assert_eq!(client.refresh_table()?, version, "cloud converged");
+    for (i, url) in urls.iter().enumerate() {
+        for via in 0..4u32 {
+            let got = client.fetch_via(via, url)?;
+            let (body, v) = got.expect("document survives the rebalance");
+            assert_eq!(body, format!("doc-{i}").into_bytes(), "body intact");
+            assert_eq!(v, 1);
+        }
+    }
+    cloud.shutdown();
+    Ok(())
+}
+
+#[test]
+fn telemetry_reconciles_errors_timeouts_and_retries() -> Result<(), CacheCloudError> {
+    let _wd = Watchdog::arm(
+        Duration::from_secs(120),
+        "telemetry_reconciles_errors_timeouts_and_retries",
+    );
+    let seed = seeds()[0];
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        ..node_retry(seed)
+    };
+    // One ring of two nodes: 0 and 1 are ring partners.
+    let cloud = ChaosCloud::spawn(2, seed, ByteSize::UNLIMITED, policy, |lane| {
+        ChaosProfile::new(seed, lane)
+    })?;
+    let client = &cloud.client;
+
+    let url = (0..200)
+        .map(|i| format!("/reconcile/{i}"))
+        .find(|u| client.beacon_of(u) == 1)
+        .expect("a node-1 document exists");
+    client.publish(&url, b"payload".to_vec(), 1)?;
+    let before = client.stats(0)?;
+
+    // Scripted schedule, phase 1 — refusals: node 1 drops connections, so
+    // node 0's lookup exhausts its 3 attempts fast (Exhausted, not a
+    // timeout) and fails over to its own (empty) directory.
+    cloud.proxies[1].set_down(true);
+    assert_eq!(client.fetch_via(0, &url)?, None);
+
+    // Phase 2 — stalls: node 1 stalls every connection past node 0's
+    // 300 ms deadline, so the first attempt eats the whole budget
+    // (Timeout, no retries).
+    cloud.proxies[1].set_down(false);
+    cloud.proxies[1].set_stall_all(Some(Duration::from_millis(1500)));
+    assert_eq!(client.fetch_via(0, &url)?, None);
+    cloud.proxies[1].set_stall_all(None);
+
+    // Reconcile through the Stats RPC roundtrip.
+    let after = client.stats(0)?;
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("rpc_errors"), 2, "one exhausted final + one timeout");
+    assert_eq!(
+        delta("rpc_timeouts"),
+        1,
+        "only the stall tripped a deadline"
+    );
+    assert_eq!(
+        delta("rpc_retries"),
+        u64::from(policy.max_attempts - 1),
+        "only the refusal phase retried"
+    );
+    let exhausted_finals = delta("rpc_errors") - delta("rpc_timeouts");
+    assert_eq!(
+        delta("rpc_errors"),
+        exhausted_finals + delta("rpc_timeouts"),
+        "rpc_errors = exhausted finals + rpc_timeouts"
+    );
+    assert_eq!(
+        delta("beacon_failovers"),
+        2,
+        "the ring partner answered twice"
+    );
+    assert_eq!(
+        delta("origin_fetches"),
+        2,
+        "both requests degraded to origin"
+    );
+    cloud.shutdown();
+    Ok(())
+}
+
+#[test]
+fn partial_writes_surface_typed_errors_within_deadline() -> Result<(), CacheCloudError> {
+    let _wd = Watchdog::arm(
+        Duration::from_secs(120),
+        "partial_writes_surface_typed_errors_within_deadline",
+    );
+    let seed = seeds()[0];
+    // Single node, every response truncated mid-frame: the client must
+    // exhaust its retries with a typed transport error, inside its
+    // deadline — a half-delivered frame must never hang the reader.
+    let cloud = ChaosCloud::spawn(1, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
+        let mut p = ChaosProfile::new(seed, lane);
+        p.partial = 1.0;
+        p
+    })?;
+    let t0 = Instant::now();
+    let err = cloud
+        .client
+        .fetch("/truncated")
+        .expect_err("half-written responses cannot succeed");
+    let elapsed = t0.elapsed();
+    assert!(err.is_transport(), "untyped failure: {err:?}");
+    assert!(
+        matches!(
+            err,
+            CacheCloudError::Exhausted { .. } | CacheCloudError::Timeout { .. }
+        ),
+        "expected Exhausted or Timeout, got {err:?}"
+    );
+    assert!(
+        elapsed < client_retry(seed).deadline + Duration::from_secs(1),
+        "failure took {elapsed:?}, past the deadline budget"
+    );
+    cloud.shutdown();
+    Ok(())
+}

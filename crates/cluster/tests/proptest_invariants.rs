@@ -1,0 +1,90 @@
+//! Property tests for the retry policy's timing invariants.
+
+use std::time::Duration;
+
+use cachecloud_cluster::RetryPolicy;
+use proptest::prelude::*;
+
+fn policy(
+    max_attempts: u32,
+    base_ms: u64,
+    max_ms: u64,
+    deadline_ms: u64,
+    jitter: f64,
+    seed: u64,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_millis(base_ms),
+        max_backoff: Duration::from_millis(max_ms),
+        deadline: Duration::from_millis(deadline_ms),
+        jitter,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cumulative retry schedule never exceeds the deadline, for any
+    /// policy and any jitter lane.
+    #[test]
+    fn schedule_fits_inside_deadline(
+        max_attempts in 1u32..24,
+        base_ms in 1u64..50,
+        max_ms in 1u64..2000,
+        deadline_ms in 1u64..5000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+        lane in any::<u64>(),
+    ) {
+        let p = policy(max_attempts, base_ms, max_ms, deadline_ms, jitter, seed);
+        let schedule = p.schedule(lane);
+        let total: Duration = schedule.iter().sum();
+        prop_assert!(total <= p.deadline, "{total:?} > {:?}", p.deadline);
+        prop_assert!(schedule.len() < max_attempts as usize || max_attempts == 1);
+    }
+
+    /// Backoff is monotone non-decreasing in the attempt number and every
+    /// pause stays inside its level's jitter band (up to the cap).
+    #[test]
+    fn backoff_is_monotone_and_jitter_bounded(
+        base_ms in 1u64..50,
+        max_ms in 1u64..5000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+        lane in any::<u64>(),
+    ) {
+        let p = policy(12, base_ms, max_ms, 60_000, jitter, seed);
+        let base = p.base_backoff.as_secs_f64();
+        let cap = p.max_backoff.as_secs_f64();
+        let mut prev = Duration::ZERO;
+        for attempt in 1u32..12 {
+            let b = p.backoff(lane, attempt);
+            prop_assert!(b >= prev, "attempt {attempt}: {b:?} < {prev:?}");
+            prop_assert!(b <= p.max_backoff, "attempt {attempt}: above the cap");
+            let level = base * 2f64.powi(attempt as i32 - 1);
+            let floor = level.min(cap);
+            let ceiling = (level * (1.0 + jitter)).min(cap);
+            let secs = b.as_secs_f64();
+            prop_assert!(secs >= floor - 1e-9, "attempt {attempt}: {secs} below floor {floor}");
+            prop_assert!(secs <= ceiling + 1e-9, "attempt {attempt}: {secs} above ceiling {ceiling}");
+            prev = b;
+        }
+    }
+
+    /// The same (policy, lane) always yields the same schedule — retry
+    /// timing replays under a fixed seed.
+    #[test]
+    fn schedules_replay_deterministically(
+        max_attempts in 1u32..16,
+        base_ms in 1u64..50,
+        deadline_ms in 1u64..3000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+        lane in any::<u64>(),
+    ) {
+        let p = policy(max_attempts, base_ms, 1000, deadline_ms, jitter, seed);
+        prop_assert_eq!(p.schedule(lane), p.schedule(lane));
+    }
+}

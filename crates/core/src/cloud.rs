@@ -2,7 +2,7 @@
 //! per-cycle rebalancing.
 
 use cachecloud_hashing::BeaconAssigner;
-use cachecloud_net::{MessageKind, TrafficMeter};
+use cachecloud_net::{FaultDecision, FaultInjector, FaultScope, MessageKind, TrafficMeter};
 use cachecloud_placement::{PlacementContext, PlacementPolicy};
 use cachecloud_sim::SimRng;
 use cachecloud_types::{ByteSize, CacheId, SimDuration, SimTime, Version};
@@ -36,6 +36,12 @@ pub struct CloudStats {
     pub drops: u64,
     /// Directory records moved by sub-range handoffs.
     pub handoff_records: u64,
+    /// Peer fetches that failed (dropped transfer or crashed holder) before
+    /// the request fell back to another holder or the origin.
+    pub peer_fetch_failures: u64,
+    /// Lookups and updates served by a ring partner because the document's
+    /// beacon point was inside a crash window.
+    pub beacon_failovers: u64,
     /// Rebalancing cycles executed.
     pub cycles: u64,
     /// Requests served a version older than the origin's (TTL mode).
@@ -63,6 +69,8 @@ pub struct CacheCloud {
     latency_hist: cachecloud_metrics::Histogram,
     /// Per-cache failure flags.
     failed: Vec<bool>,
+    /// Deterministic fault schedule, when configured.
+    faults: Option<FaultInjector>,
     stats: CloudStats,
     rng: SimRng,
 }
@@ -90,9 +98,11 @@ impl CacheCloud {
         let assigner = config.hashing.build(config.num_caches)?;
         let placement = config.placement.build()?;
         let rng = SimRng::seed_from_u64(config.seed ^ 0xC10D_C10D);
+        let faults = config.faults.clone().map(FaultInjector::new);
         Ok(CacheCloud {
             beacon_load: vec![0.0; config.num_caches],
             failed: vec![false; config.num_caches],
+            faults,
             caches,
             assigner,
             placement,
@@ -169,12 +179,13 @@ impl CacheCloud {
         now: SimTime,
     ) {
         assert!(cache.index() < self.caches.len(), "unknown {cache}");
-        // Clients of a failed cache are redirected to the next live cache
-        // in index order (edge networks re-route via DNS/anycast).
-        let cache = if self.failed[cache.index()] {
+        // Clients of a failed or crash-windowed cache are redirected to the
+        // next live cache in index order (edge networks re-route via
+        // DNS/anycast).
+        let cache = if self.is_down(cache, now) {
             match (1..self.caches.len())
                 .map(|off| CacheId((cache.index() + off) % self.caches.len()))
-                .find(|c| !self.failed[c.index()])
+                .find(|c| !self.is_down(*c, now))
             {
                 Some(c) => c,
                 None => return, // every cache is down; drop the request
@@ -231,6 +242,12 @@ impl CacheCloud {
         self.assigner.record_load(&doc.id, 1.0);
         let mut latency = SimDuration::ZERO;
         if beacon != cache {
+            // A crashed beacon's lookups fail over to its ring partner
+            // (lazily replicated directories, paper §3.3): one extra hop.
+            if self.is_down(beacon, now) {
+                self.stats.beacon_failovers += 1;
+                latency += self.config.latency.sample_intra_cloud(&mut self.rng);
+            }
             self.traffic
                 .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
             self.traffic
@@ -241,34 +258,99 @@ impl CacheCloud {
                 latency += self.config.latency.sample_intra_cloud(&mut self.rng);
             }
             latency += self.config.latency.sample_intra_cloud(&mut self.rng);
+            // A dropped lookup is retransmitted after a timeout: one more
+            // round trip. Delayed lookups just add their extra delay.
+            match self.fault(FaultScope::Lookup) {
+                FaultDecision::Drop => {
+                    self.traffic
+                        .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
+                    latency += self.config.latency.sample_intra_cloud(&mut self.rng) * 2;
+                }
+                FaultDecision::Duplicate => {
+                    self.traffic
+                        .record(now, MessageKind::LookupResponse, ByteSize::ZERO, true);
+                }
+                FaultDecision::Delay(d) => latency += d,
+                FaultDecision::Deliver => {}
+            }
         }
 
         let holders = self.directory.holders(&doc.id);
-        if holders.is_empty() {
-            // Group miss: fetch from the origin.
+        // Try holders in random order until a transfer goes through; a
+        // crashed holder or a dropped transfer costs a failed attempt and
+        // the request moves on — ultimately to the origin if no peer copy
+        // is reachable (graceful degradation, never a lost request).
+        let mut served_by_peer = false;
+        if !holders.is_empty() {
+            let start = self.rng.next_usize(holders.len());
+            for off in 0..holders.len() {
+                let h = holders[(start + off) % holders.len()];
+                if self.is_down(h, now) {
+                    // Detected by a timed-out transfer request.
+                    self.stats.peer_fetch_failures += 1;
+                    self.traffic
+                        .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
+                    latency += self.config.latency.sample_intra_cloud(&mut self.rng);
+                    continue;
+                }
+                let decision = self.fault(FaultScope::PeerFetch);
+                if decision == FaultDecision::Drop {
+                    // The transfer was lost in flight: full attempt cost.
+                    self.stats.peer_fetch_failures += 1;
+                    self.traffic
+                        .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
+                    latency += self.config.latency.sample_intra_cloud(&mut self.rng) * 2;
+                    continue;
+                }
+                self.traffic
+                    .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
+                self.traffic
+                    .record(now, MessageKind::DocTransfer, doc.size, true);
+                latency += self.config.latency.sample_intra_cloud(&mut self.rng) * 2;
+                match decision {
+                    FaultDecision::Duplicate => {
+                        self.traffic
+                            .record(now, MessageKind::DocTransfer, doc.size, true);
+                    }
+                    FaultDecision::Delay(d) => latency += d,
+                    _ => {}
+                }
+                self.stats.cloud_hits += 1;
+                debug_assert!(h != cache, "a holder cannot locally miss");
+                if matches!(self.config.consistency, ConsistencyModel::Ttl(_))
+                    && self.directory.known_version(&doc.id) < version
+                {
+                    // The cloud's copies lag the origin: a stale serve.
+                    self.stats.stale_serves += 1;
+                }
+                served_by_peer = true;
+                break;
+            }
+        }
+        if !served_by_peer {
+            // Group miss, or no peer copy was reachable: fetch from the
+            // origin. Dropped origin messages are retransmitted (the origin
+            // itself never fails), costing an extra round trip.
             self.traffic
                 .record(now, MessageKind::LookupRequest, ByteSize::ZERO, false);
             self.traffic
                 .record(now, MessageKind::DocTransfer, doc.size, false);
             latency += self.config.latency.sample_to_origin(&mut self.rng) * 2;
+            match self.fault(FaultScope::OriginFetch) {
+                FaultDecision::Drop => {
+                    self.traffic
+                        .record(now, MessageKind::LookupRequest, ByteSize::ZERO, false);
+                    latency += self.config.latency.sample_to_origin(&mut self.rng) * 2;
+                }
+                FaultDecision::Duplicate => {
+                    self.traffic
+                        .record(now, MessageKind::DocTransfer, doc.size, false);
+                }
+                FaultDecision::Delay(d) => latency += d,
+                FaultDecision::Deliver => {}
+            }
             self.stats.origin_fetches += 1;
             self.directory.note_version(&doc.id, version);
-        } else {
-            // Served within the cloud by a random current holder.
-            let h = holders[self.rng.next_usize(holders.len())];
-            self.traffic
-                .record(now, MessageKind::LookupRequest, ByteSize::ZERO, true);
-            self.traffic
-                .record(now, MessageKind::DocTransfer, doc.size, true);
-            latency += self.config.latency.sample_intra_cloud(&mut self.rng) * 2;
-            self.stats.cloud_hits += 1;
-            debug_assert!(h != cache, "a holder cannot locally miss");
-            if matches!(self.config.consistency, ConsistencyModel::Ttl(_))
-                && self.directory.known_version(&doc.id) < version
-            {
-                // The cloud's copies lag the origin: a stale serve.
-                self.stats.stale_serves += 1;
-            }
         }
         self.note_latency(latency);
 
@@ -378,10 +460,24 @@ impl CacheCloud {
         let beacon = self.assigner.beacon_for(&doc.id);
         self.beacon_load[beacon.index()] += 1.0;
         self.assigner.record_load(&doc.id, 1.0);
+        // A crashed beacon's ring partner accepts the update on its behalf.
+        if self.is_down(beacon, now) {
+            self.stats.beacon_failovers += 1;
+        }
         self.traffic
             .record(now, MessageKind::UpdateNotice, doc.size, false);
         self.directory.note_version(&doc.id, version);
         for h in holders {
+            // Deliveries are reliable (server push rides TCP): a dropped
+            // delivery is retransmitted, costing extra traffic but never
+            // leaving a holder stale.
+            match self.fault(FaultScope::Update) {
+                FaultDecision::Drop | FaultDecision::Duplicate => {
+                    self.traffic
+                        .record(now, MessageKind::UpdateDelivery, doc.size, true);
+                }
+                _ => {}
+            }
             self.caches[h.index()]
                 .store_mut()
                 .refresh_version(&doc.id, version);
@@ -479,6 +575,25 @@ impl CacheCloud {
     /// Total evictions across the cloud.
     pub fn total_evictions(&self) -> u64 {
         self.caches.iter().map(|c| c.store().evictions()).sum()
+    }
+
+    /// Whether `cache` is unavailable at `now` — explicitly failed via
+    /// [`CacheCloud::fail_cache`] or inside a scheduled crash window.
+    fn is_down(&self, cache: CacheId, now: SimTime) -> bool {
+        self.failed[cache.index()]
+            || self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.is_crashed(cache.index() as u32, now))
+    }
+
+    /// The fault decision for the next message of `scope` (always clean
+    /// delivery when no plan is configured).
+    fn fault(&mut self, scope: FaultScope) -> FaultDecision {
+        match &mut self.faults {
+            Some(f) => f.next(scope),
+            None => FaultDecision::Deliver,
+        }
     }
 
     fn note_latency(&mut self, latency: SimDuration) {
@@ -771,6 +886,108 @@ mod tests {
         assert_eq!(cloud.stats().requests, before + 1);
         // Failing the same cache twice is a no-op.
         assert!(!cloud.fail_cache(CacheId(1), t(102)));
+    }
+
+    #[test]
+    fn dropped_peer_fetches_fall_back_to_origin() {
+        use cachecloud_net::{FaultPlan, FaultScope, FaultSpec};
+        // Drop EVERY peer fetch: no request may be lost — each one must be
+        // a local hit or degrade to the origin.
+        let config = CloudConfig::builder(4)
+            .hashing(HashingScheme::dynamic_rings(2, 100, true))
+            .placement(PlacementScheme::AdHoc)
+            .latency(LatencyModel::deterministic(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(80),
+            ))
+            .faults(
+                FaultPlan::new(1)
+                    .with_scope(FaultScope::PeerFetch, FaultSpec::drop_rate(1.0).unwrap()),
+            )
+            .build()
+            .unwrap();
+        let mut cloud = CacheCloud::new(config, ByteSize::from_mib(10)).unwrap();
+        let d = spec("/drop", 400);
+        for i in 0..8u64 {
+            cloud.handle_request(&d, CacheId((i % 4) as usize), Version(0), 0.0, t(i + 1));
+        }
+        let s = cloud.stats();
+        assert_eq!(s.cloud_hits, 0, "every transfer was dropped");
+        assert!(s.peer_fetch_failures > 0);
+        assert_eq!(
+            s.requests,
+            s.local_hits + s.cloud_hits + s.origin_fetches,
+            "the request partition must survive fault injection"
+        );
+    }
+
+    #[test]
+    fn fault_schedules_replay_identically() {
+        use cachecloud_net::{FaultPlan, FaultScope, FaultSpec};
+        let run = |seed: u64| {
+            let config = CloudConfig::builder(4)
+                .hashing(HashingScheme::dynamic_rings(2, 100, true))
+                .placement(PlacementScheme::AdHoc)
+                .latency(LatencyModel::deterministic(
+                    SimDuration::from_millis(5),
+                    SimDuration::from_millis(80),
+                ))
+                .faults(FaultPlan::new(seed).with_scope(
+                    FaultScope::PeerFetch,
+                    FaultSpec::new(0.2, 0.1, 0.2, SimDuration::from_millis(30)).unwrap(),
+                ))
+                .build()
+                .unwrap();
+            let mut cloud = CacheCloud::new(config, ByteSize::from_mib(10)).unwrap();
+            for i in 0..300u64 {
+                let d = spec(&format!("/r/{}", i % 40), 300);
+                cloud.handle_request(&d, CacheId((i % 4) as usize), Version(0), 0.0, t(i + 1));
+            }
+            cloud.stats()
+        };
+        assert_eq!(run(7), run(7), "same seed, same counters");
+        let s = run(7);
+        assert_eq!(
+            s.requests,
+            s.local_hits + s.cloud_hits + s.origin_fetches,
+            "the request partition must survive fault injection"
+        );
+    }
+
+    #[test]
+    fn crash_window_fails_over_beacon_and_redirects_clients() {
+        use cachecloud_net::FaultPlan;
+        let config = CloudConfig::builder(4)
+            .hashing(HashingScheme::dynamic_rings(2, 100, true))
+            .placement(PlacementScheme::AdHoc)
+            .latency(LatencyModel::deterministic(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(80),
+            ))
+            // Cache 1 is down between t=10 and t=100.
+            .faults(FaultPlan::new(0).with_crash(1, t(10), t(100)))
+            .build()
+            .unwrap();
+        let mut cloud = CacheCloud::new(config, ByteSize::from_mib(10)).unwrap();
+        // Find a document whose beacon is cache 1.
+        let doc = (0..500)
+            .map(|i| spec(&format!("/b/{i}"), 200))
+            .find(|d| cloud.assigner().beacon_for(&d.id) == CacheId(1))
+            .expect("some document hashes to beacon 1");
+        // Outside the window: normal lookup, no failover.
+        cloud.handle_request(&doc, CacheId(2), Version(0), 0.0, t(1));
+        assert_eq!(cloud.stats().beacon_failovers, 0);
+        // Inside the window: the lookup fails over to the ring partner, and
+        // requests addressed to the crashed cache are still served.
+        cloud.handle_request(&doc, CacheId(3), Version(0), 0.0, t(20));
+        assert!(cloud.stats().beacon_failovers >= 1);
+        let before = cloud.stats().requests;
+        cloud.handle_request(&doc, CacheId(1), Version(0), 0.0, t(30));
+        assert_eq!(cloud.stats().requests, before + 1);
+        // After the window the cloud behaves normally again.
+        let failovers = cloud.stats().beacon_failovers;
+        cloud.handle_request(&doc, CacheId(2), Version(0), 0.0, t(200));
+        assert_eq!(cloud.stats().beacon_failovers, failovers);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use cachecloud_hashing::{
     BeaconAssigner, ConsistentHashing, DynamicHashing, RingLayout, StaticHashing,
 };
-use cachecloud_net::LatencyModel;
+use cachecloud_net::{FaultPlan, LatencyModel};
 use cachecloud_placement::{
     AdHocPolicy, BeaconPointPolicy, PlacementPolicy, UtilityBasedPolicy, UtilityWeights,
 };
@@ -231,6 +231,9 @@ pub struct CloudConfig {
     pub consistency: ConsistencyModel,
     /// RNG seed for latency jitter and tie-breaking.
     pub seed: u64,
+    /// Optional deterministic fault schedule (none by default: a healthy
+    /// network, as the paper assumes).
+    pub faults: Option<FaultPlan>,
 }
 
 impl CloudConfig {
@@ -256,6 +259,7 @@ impl CloudConfig {
                 always_notify: false,
                 consistency: ConsistencyModel::ServerPush,
                 seed: 0,
+                faults: None,
             },
         }
     }
@@ -358,6 +362,12 @@ impl CloudConfigBuilder {
     /// Sets the RNG seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.config.seed = s;
+        self
+    }
+
+    /// Installs a deterministic fault schedule.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
         self
     }
 

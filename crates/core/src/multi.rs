@@ -224,6 +224,8 @@ fn cloud_report(cloud: CacheCloud, minutes: f64, catalog: usize) -> SimReport {
         drops: stats.drops,
         evictions: cloud.total_evictions(),
         handoff_records: stats.handoff_records,
+        peer_fetch_failures: stats.peer_fetch_failures,
+        beacon_failovers: stats.beacon_failovers,
         cycles: stats.cycles,
         stale_serves: stats.stale_serves,
         revalidations: stats.revalidations,

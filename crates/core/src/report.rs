@@ -38,6 +38,12 @@ pub struct SimReport {
     pub evictions: u64,
     /// Directory records moved by sub-range handoffs.
     pub handoff_records: u64,
+    /// Peer fetches that failed before falling back to another holder or
+    /// the origin (fault injection only).
+    pub peer_fetch_failures: u64,
+    /// Lookups and updates served by a ring partner because the beacon was
+    /// inside a crash window (fault injection only).
+    pub beacon_failovers: u64,
     /// Rebalancing cycles executed.
     pub cycles: u64,
     /// Requests served a stale version (TTL consistency only).
@@ -134,6 +140,8 @@ mod tests {
             drops: 50,
             evictions: 10,
             handoff_records: 5,
+            peer_fetch_failures: 0,
+            beacon_failovers: 0,
             cycles: 1,
             stale_serves: 5,
             revalidations: 7,

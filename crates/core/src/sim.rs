@@ -69,6 +69,16 @@ fn observe_deltas(st: &mut SimState, now: SimTime, node: u32, url: Option<&str>)
             st.prev.handoff_records,
             stats.handoff_records,
         ),
+        (
+            EventKind::PeerFetchFailure,
+            st.prev.peer_fetch_failures,
+            stats.peer_fetch_failures,
+        ),
+        (
+            EventKind::BeaconFailover,
+            st.prev.beacon_failovers,
+            stats.beacon_failovers,
+        ),
         (EventKind::Cycle, st.prev.cycles, stats.cycles),
         (
             EventKind::StaleServe,
@@ -274,6 +284,8 @@ impl EdgeNetworkSim {
             drops: stats.drops,
             evictions: cloud.total_evictions(),
             handoff_records: stats.handoff_records,
+            peer_fetch_failures: stats.peer_fetch_failures,
+            beacon_failovers: stats.beacon_failovers,
             cycles: stats.cycles,
             stale_serves: stats.stale_serves,
             revalidations: stats.revalidations,
@@ -374,6 +386,14 @@ mod tests {
             observer.count(EventKind::Revalidation),
             report.revalidations
         );
+        assert_eq!(
+            observer.count(EventKind::PeerFetchFailure),
+            report.peer_fetch_failures
+        );
+        assert_eq!(
+            observer.count(EventKind::BeaconFailover),
+            report.beacon_failovers
+        );
         // Every origin update is either propagated or skipped.
         assert_eq!(
             observer.count(EventKind::UpdatePropagated) + observer.count(EventKind::UpdateSkipped),
@@ -417,6 +437,45 @@ mod tests {
         assert!(cycle.url.is_none());
         // Timestamps are simulated time, monotone non-decreasing.
         assert!(events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+    }
+
+    #[test]
+    fn faulted_runs_keep_the_partition_and_replay_deterministically() {
+        use cachecloud_net::{FaultPlan, FaultScope, FaultSpec};
+        use cachecloud_types::SimTime;
+
+        let trace = small_trace(9);
+        let run = || {
+            let cfg = CloudConfig::builder(4)
+                .hashing(HashingScheme::dynamic_rings(2, 1000, true))
+                .placement(PlacementScheme::AdHoc)
+                .cycle(SimDuration::from_minutes(10))
+                .seed(5)
+                .faults(
+                    FaultPlan::new(23)
+                        .with_scope(FaultScope::PeerFetch, FaultSpec::drop_rate(0.2).unwrap())
+                        .with_crash(
+                            1,
+                            SimTime::ZERO + SimDuration::from_minutes(5),
+                            SimTime::ZERO + SimDuration::from_minutes(15),
+                        ),
+                )
+                .build()
+                .unwrap();
+            EdgeNetworkSim::new(cfg, &trace).unwrap().run()
+        };
+        let report = run();
+        // Every request is still accounted for: faults degrade requests to
+        // the origin, they never lose them.
+        assert_eq!(report.requests, trace.request_count() as u64);
+        assert_eq!(
+            report.requests,
+            report.local_hits + report.cloud_hits + report.origin_fetches
+        );
+        assert!(report.peer_fetch_failures > 0, "drops were injected");
+        assert!(report.beacon_failovers > 0, "the crash window was hit");
+        // The whole faulted run replays bit-identically.
+        assert_eq!(report, run());
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Property tests for the simulator under fault injection: whatever the
+//! fault schedule, every request is still accounted for and runs replay.
+
+use cache_clouds::config::{CloudConfig, HashingScheme, PlacementScheme};
+use cache_clouds::sim::EdgeNetworkSim;
+use cachecloud_net::{FaultPlan, FaultScope, FaultSpec};
+use cachecloud_types::{SimDuration, SimTime};
+use cachecloud_workload::ZipfTraceBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any drop/duplicate/delay mix on any scope plus a crash
+    /// window, the request partition holds exactly:
+    /// requests = local hits + cloud hits + origin fetches. Faults degrade
+    /// requests toward the origin; they never lose or double-count one.
+    #[test]
+    fn faulted_sim_preserves_the_request_partition(
+        trace_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        drop in 0.0f64..0.4,
+        duplicate in 0.0f64..0.2,
+        delay in 0.0f64..0.2,
+        scope_pick in 0usize..4,
+        crash_node in 0u32..4,
+        crash_from_min in 0u64..10,
+        crash_len_min in 1u64..10,
+    ) {
+        let trace = ZipfTraceBuilder::new()
+            .documents(80)
+            .caches(4)
+            .duration_minutes(15)
+            .requests_per_cache_per_minute(12.0)
+            .updates_per_minute(6.0)
+            .seed(trace_seed)
+            .build();
+        let scope = FaultScope::ALL[scope_pick];
+        let spec = FaultSpec::new(
+            drop,
+            duplicate,
+            delay,
+            SimDuration::from_millis(40),
+        ).expect("probabilities sum below 1");
+        let from = SimTime::ZERO + SimDuration::from_minutes(crash_from_min);
+        let until = from + SimDuration::from_minutes(crash_len_min);
+        let build = || {
+            let cfg = CloudConfig::builder(4)
+                .hashing(HashingScheme::dynamic_rings(2, 1000, true))
+                .placement(PlacementScheme::AdHoc)
+                .cycle(SimDuration::from_minutes(5))
+                .seed(5)
+                .faults(
+                    FaultPlan::new(fault_seed)
+                        .with_scope(scope, spec)
+                        .with_crash(crash_node, from, until),
+                )
+                .build()
+                .expect("valid config");
+            EdgeNetworkSim::new(cfg, &trace).expect("sim builds")
+        };
+        let report = build().run();
+        prop_assert_eq!(report.requests, trace.request_count() as u64);
+        prop_assert_eq!(
+            report.requests,
+            report.local_hits + report.cloud_hits + report.origin_fetches,
+            "faults must degrade requests, not lose them"
+        );
+        // Fault-injected runs replay bit-identically under the same seeds.
+        prop_assert_eq!(report, build().run());
+    }
+}

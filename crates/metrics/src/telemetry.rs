@@ -82,13 +82,25 @@ pub enum EventKind {
     Registration,
     /// A directory registration was removed from a beacon (cluster only).
     Unregistration,
-    /// An RPC to a peer failed outright (cluster only).
+    /// An RPC to a peer failed outright, after exhausting its retry budget
+    /// or its deadline (cluster only).
     RpcError,
+    /// One additional attempt of an RPC after a transient failure
+    /// (cluster only).
+    RpcRetry,
+    /// An RPC whose final outcome was a deadline expiry (cluster only).
+    RpcTimeout,
+    /// A cooperative read degraded to the origin because no peer copy was
+    /// reachable (cluster only).
+    OriginFallback,
+    /// A beacon lookup failed over to another member of the beacon's ring
+    /// (cluster only).
+    BeaconFailover,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 24] = [
         EventKind::Request,
         EventKind::LocalHit,
         EventKind::CloudHit,
@@ -109,6 +121,10 @@ impl EventKind {
         EventKind::Registration,
         EventKind::Unregistration,
         EventKind::RpcError,
+        EventKind::RpcRetry,
+        EventKind::RpcTimeout,
+        EventKind::OriginFallback,
+        EventKind::BeaconFailover,
     ];
 
     /// Stable snake_case name, used as the counter key in a [`Registry`],
@@ -136,6 +152,10 @@ impl EventKind {
             EventKind::Registration => "registrations",
             EventKind::Unregistration => "unregistrations",
             EventKind::RpcError => "rpc_errors",
+            EventKind::RpcRetry => "rpc_retries",
+            EventKind::RpcTimeout => "rpc_timeouts",
+            EventKind::OriginFallback => "origin_fallbacks",
+            EventKind::BeaconFailover => "beacon_failovers",
         }
     }
 }

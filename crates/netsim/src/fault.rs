@@ -1,0 +1,470 @@
+//! Deterministic fault injection: seeded message faults and scheduled
+//! node-crash windows.
+//!
+//! The paper evaluates cache clouds on a healthy network; this module makes
+//! failure a first-class, *replayable* input. A [`FaultPlan`] assigns each
+//! message scope a drop/duplicate/delay probability and carries a list of
+//! [`CrashWindow`]s during which a node is unreachable. Every decision is a
+//! pure function of `(seed, scope, sequence number)` — no hidden RNG state —
+//! so two runs of the same plan observe *identical* fault schedules, and a
+//! failing run can be replayed exactly from its seed.
+//!
+//! The same hash ([`unit_hash`]) seeds the live cluster's chaos proxy
+//! (`cachecloud-cluster`), so simulator and socket-level fault schedules
+//! share one determinism substrate.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_net::fault::{FaultDecision, FaultPlan, FaultScope, FaultSpec};
+//! use cachecloud_types::SimDuration;
+//!
+//! let plan = FaultPlan::new(42)
+//!     .with_scope(FaultScope::PeerFetch, FaultSpec::drop_rate(0.2).unwrap());
+//! // Decisions are deterministic: same (scope, seq) -> same outcome.
+//! let a = plan.decide(FaultScope::PeerFetch, 7);
+//! let b = plan.decide(FaultScope::PeerFetch, 7);
+//! assert_eq!(a, b);
+//! // Roughly 20 % of a long sequence is dropped.
+//! let drops = (0..1000)
+//!     .filter(|&i| plan.decide(FaultScope::PeerFetch, i) == FaultDecision::Drop)
+//!     .count();
+//! assert!((100..300).contains(&drops));
+//! ```
+
+use cachecloud_types::{CacheCloudError, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Maps a 64-bit input to a well-mixed 64-bit output (splitmix64 finalizer).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic uniform sample in `[0, 1)` from `(seed, lane, seq)`.
+///
+/// This is the shared determinism substrate of all fault injection: the
+/// simulator keys lanes by [`FaultScope`], the cluster's chaos proxy keys
+/// them by node id. Distinct lanes decorrelate; the same triple always
+/// yields the same sample.
+pub fn unit_hash(seed: u64, lane: u64, seq: u64) -> f64 {
+    let mixed =
+        splitmix64(seed ^ splitmix64(lane) ^ splitmix64(seq.wrapping_mul(0xA24B_AED4_963E_E407)));
+    // 53 mantissa bits -> uniform in [0, 1).
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The protocol scopes a plan can fault independently.
+///
+/// These mirror the message classes of [`crate::MessageKind`] at the
+/// granularity fault behaviour actually differs: directory lookups, peer
+/// document transfers, origin round trips and update deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// Cache ↔ beacon-point directory lookups.
+    Lookup,
+    /// Document transfers between caches of one cloud (the cooperative
+    /// fetch the paper's hit-rate gains ride on).
+    PeerFetch,
+    /// Cache ↔ origin round trips.
+    OriginFetch,
+    /// Beacon → holder update deliveries.
+    Update,
+}
+
+impl FaultScope {
+    /// Every scope, in declaration order.
+    pub const ALL: [FaultScope; 4] = [
+        FaultScope::Lookup,
+        FaultScope::PeerFetch,
+        FaultScope::OriginFetch,
+        FaultScope::Update,
+    ];
+
+    /// Stable index of this scope (its lane in the decision hash).
+    pub fn index(self) -> usize {
+        match self {
+            FaultScope::Lookup => 0,
+            FaultScope::PeerFetch => 1,
+            FaultScope::OriginFetch => 2,
+            FaultScope::Update => 3,
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultScope::Lookup => "lookup",
+            FaultScope::PeerFetch => "peer_fetch",
+            FaultScope::OriginFetch => "origin_fetch",
+            FaultScope::Update => "update",
+        }
+    }
+}
+
+/// Fault probabilities for one message scope.
+///
+/// The three probabilities are mutually exclusive outcomes of one draw, so
+/// their sum must not exceed 1; whatever remains is clean delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability the message is silently dropped.
+    pub drop: f64,
+    /// Probability the message is delivered twice (doubling its traffic).
+    pub duplicate: f64,
+    /// Probability the message is delayed by up to `extra_delay`.
+    pub delay: f64,
+    /// Maximum extra delay of a delayed message; the actual delay is a
+    /// deterministic fraction of this bound.
+    pub extra_delay: SimDuration,
+}
+
+impl FaultSpec {
+    /// A spec that never faults.
+    pub const NONE: FaultSpec = FaultSpec {
+        drop: 0.0,
+        duplicate: 0.0,
+        delay: 0.0,
+        extra_delay: SimDuration::ZERO,
+    };
+
+    /// A spec with explicit probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheCloudError::InvalidConfig`] if any probability is
+    /// outside `[0, 1]` or their sum exceeds 1.
+    pub fn new(
+        drop: f64,
+        duplicate: f64,
+        delay: f64,
+        extra_delay: SimDuration,
+    ) -> cachecloud_types::Result<Self> {
+        for (name, p) in [("drop", drop), ("duplicate", duplicate), ("delay", delay)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CacheCloudError::InvalidConfig {
+                    param: "fault_spec",
+                    reason: format!("{name} probability {p} must lie in [0, 1]"),
+                });
+            }
+        }
+        if drop + duplicate + delay > 1.0 + 1e-12 {
+            return Err(CacheCloudError::InvalidConfig {
+                param: "fault_spec",
+                reason: format!("probabilities sum to {} > 1", drop + duplicate + delay),
+            });
+        }
+        Ok(FaultSpec {
+            drop,
+            duplicate,
+            delay,
+            extra_delay,
+        })
+    }
+
+    /// A drop-only spec (the acceptance scenario: lose a fraction of
+    /// messages, nothing else).
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultSpec::new`].
+    pub fn drop_rate(drop: f64) -> cachecloud_types::Result<Self> {
+        FaultSpec::new(drop, 0.0, 0.0, SimDuration::ZERO)
+    }
+
+    /// True when this spec can never fault a message.
+    pub fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.delay == 0.0
+    }
+}
+
+/// What the plan decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop the message.
+    Drop,
+    /// Deliver it twice.
+    Duplicate,
+    /// Deliver it after this extra delay.
+    Delay(SimDuration),
+}
+
+/// A scheduled interval during which a node is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: u32,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive); the node recovers at this instant.
+    pub until: SimTime,
+}
+
+/// A deterministic, replayable fault schedule.
+///
+/// Per-scope message faults plus scheduled node crashes. All message
+/// decisions are stateless hashes of `(seed, scope, seq)`; the caller
+/// supplies the per-scope sequence number (see [`FaultInjector`] for a
+/// stateful counter wrapper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    specs: [FaultSpec; 4],
+    crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults configured yet.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: [FaultSpec::NONE; 4],
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the fault spec of one scope.
+    #[must_use]
+    pub fn with_scope(mut self, scope: FaultScope, spec: FaultSpec) -> Self {
+        self.specs[scope.index()] = spec;
+        self
+    }
+
+    /// Sets the same fault spec for every scope.
+    #[must_use]
+    pub fn with_all_scopes(mut self, spec: FaultSpec) -> Self {
+        self.specs = [spec; 4];
+        self
+    }
+
+    /// Schedules a node crash: `node` is unreachable in `[from, until)`.
+    #[must_use]
+    pub fn with_crash(mut self, node: u32, from: SimTime, until: SimTime) -> Self {
+        self.crashes.push(CrashWindow { node, from, until });
+        self
+    }
+
+    /// The fault spec of a scope.
+    pub fn spec(&self, scope: FaultScope) -> &FaultSpec {
+        &self.specs[scope.index()]
+    }
+
+    /// The scheduled crash windows.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// True when the plan can never fault anything.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty() && self.specs.iter().all(FaultSpec::is_none)
+    }
+
+    /// The decision for the `seq`-th message of `scope` — a pure function
+    /// of `(seed, scope, seq)`, so replaying a run replays its faults.
+    pub fn decide(&self, scope: FaultScope, seq: u64) -> FaultDecision {
+        let spec = self.spec(scope);
+        if spec.is_none() {
+            return FaultDecision::Deliver;
+        }
+        let u = unit_hash(self.seed, scope.index() as u64, seq);
+        if u < spec.drop {
+            FaultDecision::Drop
+        } else if u < spec.drop + spec.duplicate {
+            FaultDecision::Duplicate
+        } else if u < spec.drop + spec.duplicate + spec.delay {
+            // A second, decorrelated draw scales the extra delay.
+            let frac = unit_hash(self.seed, 0x00DE_1A7E ^ scope.index() as u64, seq);
+            FaultDecision::Delay(SimDuration::from_secs_f64(
+                spec.extra_delay.as_secs_f64() * frac,
+            ))
+        } else {
+            FaultDecision::Deliver
+        }
+    }
+
+    /// Whether `node` is inside one of its crash windows at `at`.
+    pub fn is_crashed(&self, node: u32, at: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|w| w.node == node && w.from <= at && at < w.until)
+    }
+}
+
+/// A stateful wrapper that tracks per-scope sequence numbers, so call sites
+/// can ask "what happens to the *next* message of this scope?".
+///
+/// Two runs issuing the same per-scope message sequence observe the same
+/// faults; the counters are the only state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seqs: [u64; 4],
+}
+
+impl FaultInjector {
+    /// Wraps a plan with zeroed sequence counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, seqs: [0; 4] }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of the next message of `scope` and advances the
+    /// scope's sequence counter.
+    pub fn next(&mut self, scope: FaultScope) -> FaultDecision {
+        let seq = self.seqs[scope.index()];
+        self.seqs[scope.index()] += 1;
+        self.plan.decide(scope, seq)
+    }
+
+    /// Whether `node` is crashed at `at` (delegates to the plan).
+    pub fn is_crashed(&self, node: u32, at: SimTime) -> bool {
+        self.plan.is_crashed(node, at)
+    }
+
+    /// Messages decided so far in `scope`.
+    pub fn seq(&self, scope: FaultScope) -> u64 {
+        self.seqs[scope.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn decisions_replay_identically() {
+        let a = FaultPlan::new(7)
+            .with_all_scopes(FaultSpec::new(0.3, 0.2, 0.3, SimDuration::from_millis(40)).unwrap());
+        let b = a.clone();
+        for scope in FaultScope::ALL {
+            for seq in 0..500 {
+                assert_eq!(a.decide(scope, seq), b.decide(scope, seq));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let spec = FaultSpec::drop_rate(0.5).unwrap();
+        let a = FaultPlan::new(1).with_scope(FaultScope::PeerFetch, spec);
+        let b = FaultPlan::new(2).with_scope(FaultScope::PeerFetch, spec);
+        let diverges = (0..200)
+            .any(|i| a.decide(FaultScope::PeerFetch, i) != b.decide(FaultScope::PeerFetch, i));
+        assert!(diverges, "seeds must decorrelate the schedule");
+    }
+
+    #[test]
+    fn scopes_are_decorrelated() {
+        let plan = FaultPlan::new(3).with_all_scopes(FaultSpec::drop_rate(0.5).unwrap());
+        let diverges = (0..200)
+            .any(|i| plan.decide(FaultScope::Lookup, i) != plan.decide(FaultScope::PeerFetch, i));
+        assert!(diverges, "lanes must decorrelate scopes");
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let plan = FaultPlan::new(11)
+            .with_scope(FaultScope::PeerFetch, FaultSpec::drop_rate(0.2).unwrap());
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|&i| plan.decide(FaultScope::PeerFetch, i) == FaultDecision::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((0.17..0.23).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn delays_are_bounded_by_extra_delay() {
+        let bound = SimDuration::from_millis(25);
+        let plan = FaultPlan::new(5).with_scope(
+            FaultScope::Update,
+            FaultSpec::new(0.0, 0.0, 1.0, bound).unwrap(),
+        );
+        for seq in 0..500 {
+            match plan.decide(FaultScope::Update, seq) {
+                FaultDecision::Delay(d) => assert!(d <= bound, "delay {d:?} over bound"),
+                other => panic!("delay-only spec decided {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let plan = FaultPlan::new(0).with_crash(2, t(10), t(20));
+        assert!(!plan.is_crashed(2, t(9)));
+        assert!(plan.is_crashed(2, t(10)));
+        assert!(plan.is_crashed(2, t(19)));
+        assert!(!plan.is_crashed(2, t(20)), "recovers at the window end");
+        assert!(!plan.is_crashed(3, t(15)), "other nodes unaffected");
+    }
+
+    #[test]
+    fn injector_advances_per_scope() {
+        let plan = FaultPlan::new(9).with_all_scopes(FaultSpec::drop_rate(0.5).unwrap());
+        let mut inj = FaultInjector::new(plan.clone());
+        let first: Vec<_> = (0..10).map(|_| inj.next(FaultScope::PeerFetch)).collect();
+        let expect: Vec<_> = (0..10)
+            .map(|i| plan.decide(FaultScope::PeerFetch, i))
+            .collect();
+        assert_eq!(first, expect);
+        assert_eq!(inj.seq(FaultScope::PeerFetch), 10);
+        assert_eq!(inj.seq(FaultScope::Lookup), 0, "scopes count separately");
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(FaultSpec::new(-0.1, 0.0, 0.0, SimDuration::ZERO).is_err());
+        assert!(FaultSpec::new(0.0, 1.1, 0.0, SimDuration::ZERO).is_err());
+        assert!(FaultSpec::new(0.6, 0.3, 0.3, SimDuration::ZERO).is_err());
+        assert!(FaultSpec::new(0.5, 0.25, 0.25, SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_is_none_and_always_delivers() {
+        let plan = FaultPlan::new(123);
+        assert!(plan.is_none());
+        for scope in FaultScope::ALL {
+            for seq in 0..50 {
+                assert_eq!(plan.decide(scope, seq), FaultDecision::Deliver);
+            }
+        }
+        assert!(!plan.clone().with_crash(0, t(0), t(1)).is_none());
+    }
+
+    #[test]
+    fn unit_hash_is_uniformish() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| unit_hash(42, 0, i)).sum::<f64>() / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+        for i in 0..n {
+            let u = unit_hash(42, 0, i);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn plan_is_serializable_and_cloneable() {
+        fn assert_serde<T: Serialize + for<'a> Deserialize<'a> + Clone + PartialEq>() {}
+        assert_serde::<FaultPlan>();
+        assert_serde::<FaultSpec>();
+        assert_serde::<CrashWindow>();
+        assert_serde::<FaultScope>();
+    }
+}

@@ -32,12 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod landmarks;
 pub mod latency;
 pub mod message;
 pub mod topology;
 pub mod traffic;
 
+pub use fault::{
+    unit_hash, CrashWindow, FaultDecision, FaultInjector, FaultPlan, FaultScope, FaultSpec,
+};
 pub use landmarks::cluster_by_landmarks;
 pub use latency::LatencyModel;
 pub use message::MessageKind;

@@ -53,6 +53,37 @@ pub enum CacheCloudError {
     Protocol(String),
     /// An I/O error, stringified to keep the error `Clone + PartialEq`.
     Io(String),
+    /// An operation ran past its deadline (live cluster: the retry loop's
+    /// per-request time budget expired before any attempt succeeded).
+    Timeout {
+        /// What was being attempted when the deadline expired.
+        what: &'static str,
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Every attempt of a retried operation failed before the deadline did
+    /// (live cluster: the retry budget is spent).
+    Exhausted {
+        /// Number of attempts made.
+        attempts: u32,
+        /// The failure of the final attempt.
+        last: Box<CacheCloudError>,
+    },
+}
+
+impl CacheCloudError {
+    /// True for failures of the transport itself — a socket error, an
+    /// expired deadline, or a spent retry budget — as opposed to a
+    /// protocol-level rejection by a healthy peer. Transport failures are
+    /// the ones worth failing over: another node may well succeed.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            CacheCloudError::Io(_)
+                | CacheCloudError::Timeout { .. }
+                | CacheCloudError::Exhausted { .. }
+        )
+    }
 }
 
 impl fmt::Display for CacheCloudError {
@@ -84,6 +115,12 @@ impl fmt::Display for CacheCloudError {
             ),
             CacheCloudError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             CacheCloudError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CacheCloudError::Timeout { what, deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded while {what}")
+            }
+            CacheCloudError::Exhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
         }
     }
 }
@@ -123,6 +160,14 @@ mod tests {
             },
             CacheCloudError::Protocol("bad magic".into()),
             CacheCloudError::Io("connection reset".into()),
+            CacheCloudError::Timeout {
+                what: "peer rpc",
+                deadline_ms: 250,
+            },
+            CacheCloudError::Exhausted {
+                attempts: 3,
+                last: Box::new(CacheCloudError::Io("connection refused".into())),
+            },
         ];
         for e in cases {
             let msg = e.to_string();
@@ -139,6 +184,23 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<CacheCloudError>();
+    }
+
+    #[test]
+    fn transport_failures_are_classified() {
+        assert!(CacheCloudError::Io("refused".into()).is_transport());
+        assert!(CacheCloudError::Timeout {
+            what: "peer rpc",
+            deadline_ms: 10,
+        }
+        .is_transport());
+        assert!(CacheCloudError::Exhausted {
+            attempts: 2,
+            last: Box::new(CacheCloudError::Io("refused".into())),
+        }
+        .is_transport());
+        assert!(!CacheCloudError::Protocol("bad frame".into()).is_transport());
+        assert!(!CacheCloudError::DocumentNotFound(DocId::from_url("/a")).is_transport());
     }
 
     #[test]
