@@ -23,4 +23,12 @@ echo "==> chaos suite (pinned seeds, bounded)"
 CHAOS_SEEDS="11,23" timeout 300 \
   cargo test -q -p cachecloud-cluster --test chaos
 
+echo "==> smoke bench (pinned seed, bounded)"
+# A small live benchmark against a loopback cluster: exits non-zero
+# unless traffic flowed, the deterministic schedule digest reproduced,
+# and the error rate stayed within bounds. Writes BENCH_cluster.json
+# (archived as an artifact by the workflow).
+timeout 300 cargo run --release -q -p cachecloud-loadgen --bin loadgen -- \
+  --smoke --out BENCH_cluster.json
+
 echo "CI green."

@@ -15,11 +15,15 @@
 //!   caller's per-attempt or per-request deadline when so configured.
 //!
 //! A listener can also be marked *down* ([`FaultyListener::set_down`]), at
-//! which point every connection is dropped on arrival — the chaos suite's
-//! stand-in for a crashed node or beacon.
+//! which point every established connection is severed and every new
+//! connection is dropped on arrival — the chaos suite's stand-in for a
+//! crashed node or beacon. Severing the established side matters now that
+//! clients and peers hold pooled persistent connections: a real crash
+//! kills those too, and a chaos "death" that only refused new connects
+//! would leave pooled streams happily talking to a supposedly dead node.
 
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,6 +31,7 @@ use std::time::Duration;
 
 use cachecloud_net::unit_hash;
 use cachecloud_types::CacheCloudError;
+use parking_lot::Mutex;
 
 use crate::wire::{read_frame, write_frame};
 
@@ -126,6 +131,9 @@ pub struct FaultyListener {
     /// (overrides the profile's probabilistic decision).
     stall_all_ms: Arc<AtomicU64>,
     accepted: Arc<AtomicU64>,
+    /// Client-side handles of every proxied connection, severed on
+    /// [`FaultyListener::set_down`] so pooled streams die with the "node".
+    live: Arc<Mutex<Vec<TcpStream>>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -144,10 +152,12 @@ impl FaultyListener {
         let down = Arc::new(AtomicBool::new(false));
         let stall_all_ms = Arc::new(AtomicU64::new(0));
         let accepted = Arc::new(AtomicU64::new(0));
+        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let t_down = Arc::clone(&down);
         let t_stall = Arc::clone(&stall_all_ms);
         let t_accepted = Arc::clone(&accepted);
+        let t_live = Arc::clone(&live);
         let t_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name(format!("ccchaos-{}", profile.lane))
@@ -168,6 +178,9 @@ impl FaultyListener {
                     } else {
                         (profile.decide(seq), profile.stall_for)
                     };
+                    if let Ok(handle) = stream.try_clone() {
+                        t_live.lock().push(handle);
+                    }
                     let _ = std::thread::Builder::new()
                         .name(format!("ccchaos-{}-conn", profile.lane))
                         .spawn(move || proxy_connection(stream, upstream, fault, stall_for));
@@ -179,6 +192,7 @@ impl FaultyListener {
             down,
             stall_all_ms,
             accepted,
+            live,
             shutdown,
             accept_thread: Some(accept_thread),
         })
@@ -190,10 +204,17 @@ impl FaultyListener {
         self.addr
     }
 
-    /// Marks the proxied node dead (`true`) or alive (`false`). While
-    /// dead, every arriving connection is dropped immediately.
+    /// Marks the proxied node dead (`true`) or alive (`false`). Going
+    /// down severs every established connection — pooled client and peer
+    /// streams included, exactly like a real crash — and drops every new
+    /// connection on arrival until the node comes back up.
     pub fn set_down(&self, down: bool) {
         self.down.store(down, Ordering::SeqCst);
+        if down {
+            for stream in self.live.lock().drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
     }
 
     /// Forces every connection to stall for `d` (`None` restores the
@@ -232,8 +253,18 @@ impl Drop for FaultyListener {
 
 /// Forwards one client connection frame by frame, applying `fault`.
 fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: FaultKind, stall: Duration) {
+    forward(&client, upstream, fault, stall);
+    // A clone of this stream sits in the listener's live registry (for
+    // `set_down` severing), so dropping our handles would NOT close the
+    // socket — the caller would hang until its read timeout instead of
+    // seeing the connection die. Shut the socket down explicitly.
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+/// The forwarding loop proper; returning ends the proxied connection.
+fn forward(client: &TcpStream, upstream: SocketAddr, fault: FaultKind, stall: Duration) {
     if fault == FaultKind::Reset {
-        return; // dropping the stream closes the connection
+        return; // the caller shuts the connection down
     }
     if fault == FaultKind::Stall {
         std::thread::sleep(stall);
@@ -241,10 +272,13 @@ fn proxy_connection(client: TcpStream, upstream: SocketAddr, fault: FaultKind, s
     let Ok(up) = TcpStream::connect(upstream) else {
         return;
     };
-    let (Ok(mut client_w), Ok(mut up_w)) = (client.try_clone(), up.try_clone()) else {
+    let (Ok(client_dup), Ok(mut client_w)) = (client.try_clone(), client.try_clone()) else {
         return;
     };
-    let mut client_r = BufReader::new(client);
+    let Ok(mut up_w) = up.try_clone() else {
+        return;
+    };
+    let mut client_r = BufReader::new(client_dup);
     let mut up_r = BufReader::new(up);
     // One request/response exchange per loop turn (the wire protocol is
     // strictly alternating on a connection).

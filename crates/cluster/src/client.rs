@@ -10,6 +10,7 @@ use cachecloud_metrics::telemetry::NodeStats;
 use cachecloud_types::{CacheCloudError, CacheId, Capability};
 use parking_lot::RwLock;
 
+use crate::conn::{ConnectionPool, PoolStats};
 use crate::node::rpc_once;
 use crate::retry::RetryPolicy;
 use crate::route::{RangeEntry, RouteTable};
@@ -30,6 +31,12 @@ use crate::wire::{Request, Response};
 /// member when a node is unreachable, so a dead beacon degrades service
 /// instead of failing it.
 ///
+/// By default RPCs ride on a per-peer [`ConnectionPool`] of persistent
+/// connections (shared across clones of the client); a connection is
+/// pooled again only after a fully successful exchange, so a stale stream
+/// costs one retry attempt and never poisons a second request. Disable
+/// with [`CloudClient::with_pooling`] to measure the difference.
+///
 /// [`fetch`]: CloudClient::fetch
 /// [`publish`]: CloudClient::publish
 /// [`update`]: CloudClient::update
@@ -39,6 +46,7 @@ pub struct CloudClient {
     peers: Vec<SocketAddr>,
     table: Arc<RwLock<RouteTable>>,
     retry: RetryPolicy,
+    pool: Option<Arc<ConnectionPool>>,
 }
 
 impl CloudClient {
@@ -66,7 +74,23 @@ impl CloudClient {
             peers,
             table: Arc::new(RwLock::new(table)),
             retry: RetryPolicy::default(),
+            pool: Some(Arc::new(ConnectionPool::new())),
         })
+    }
+
+    /// Enables or disables the persistent-connection pool (enabled by
+    /// default). With pooling off every RPC pays a fresh TCP connect —
+    /// useful only as a benchmark baseline.
+    #[must_use]
+    pub fn with_pooling(mut self, pooled: bool) -> Self {
+        self.pool = pooled.then(|| Arc::new(ConnectionPool::new()));
+        self
+    }
+
+    /// Lifetime counters of the client's connection pool (`None` when
+    /// pooling is disabled).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
     }
 
     /// Replaces the client's retry policy.
@@ -85,9 +109,12 @@ impl CloudClient {
     /// each attempt bounded by the remaining time budget.
     fn rpc(&self, addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
         let lane = u64::from(addr.port());
-        let (out, _) = self.retry.run(lane, "client rpc", |budget| {
-            rpc_once(addr, req, Some(budget))
-        });
+        let (out, _) = self
+            .retry
+            .run(lane, "client rpc", |budget| match &self.pool {
+                Some(pool) => pool.rpc(addr, req, Some(budget)),
+                None => rpc_once(addr, req, Some(budget)),
+            });
         out
     }
 
@@ -283,6 +310,27 @@ impl CloudClient {
         Ok(total)
     }
 
+    /// Drains one node's per-(ring, IrH) beacon-load ledger: the
+    /// `(ring, irh, load)` entries accumulated since the last drain.
+    ///
+    /// Note this **resets** the node's ledger (the coordinator's
+    /// read-and-reset cycle); callers sampling load for reporting should
+    /// do so at most once per measurement window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors, and out-of-range `node`.
+    pub fn load_ledger(&self, node: u32) -> Result<Vec<(u32, u64, f64)>, CacheCloudError> {
+        let addr = self
+            .peers
+            .get(node as usize)
+            .ok_or(CacheCloudError::UnknownCache(CacheId(node as usize)))?;
+        match self.rpc(*addr, &Request::GetLoad)? {
+            Response::Load { entries } => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Liveness probe of one node.
     ///
     /// # Errors
@@ -319,14 +367,9 @@ impl CloudClient {
         // 1. Collect the cloud-wide per-(ring, IrH) loads.
         let mut loads: std::collections::HashMap<(u32, u64), f64> =
             std::collections::HashMap::new();
-        for addr in &self.peers {
-            match self.rpc(*addr, &Request::GetLoad)? {
-                Response::Load { entries } => {
-                    for (ring, irh, load) in entries {
-                        *loads.entry((ring, irh)).or_insert(0.0) += load;
-                    }
-                }
-                other => return Err(unexpected(other)),
+        for node in 0..self.peers.len() as u32 {
+            for (ring, irh, load) in self.load_ledger(node)? {
+                *loads.entry((ring, irh)).or_insert(0.0) += load;
             }
         }
 

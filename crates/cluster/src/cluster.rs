@@ -46,6 +46,21 @@ impl LocalCluster {
     ///
     /// Propagates socket errors; rejects `n == 0`.
     pub fn spawn_with_capacity(n: usize, capacity: ByteSize) -> Result<Self, CacheCloudError> {
+        Self::spawn_with_options(n, capacity, true)
+    }
+
+    /// Spawns `n` nodes with the given per-node store capacity and an
+    /// explicit choice of pooled vs connect-per-RPC peer connections
+    /// (`pooled = false` exists for benchmark baselines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects `n == 0`.
+    pub fn spawn_with_options(
+        n: usize,
+        capacity: ByteSize,
+        pooled: bool,
+    ) -> Result<Self, CacheCloudError> {
         if n == 0 {
             return Err(CacheCloudError::InvalidConfig {
                 param: "nodes",
@@ -63,10 +78,9 @@ impl LocalCluster {
             .into_iter()
             .enumerate()
             .map(|(id, listener)| {
-                CacheNode::start_on(
-                    NodeConfig::new(id as u32, peers.clone(), capacity),
-                    listener,
-                )
+                let mut config = NodeConfig::new(id as u32, peers.clone(), capacity);
+                config.pooled = pooled;
+                CacheNode::start_on(config, listener)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(LocalCluster { nodes, peers })

@@ -12,7 +12,9 @@
 //! The implementation is deliberately dependency-light: blocking sockets,
 //! one thread per connection (cache clouds are small by construction — the
 //! paper's biggest cloud has 50 caches), `parking_lot` locks and a compact
-//! hand-rolled wire format over `bytes`.
+//! hand-rolled wire format over `bytes`. Clients and peer RPCs reuse
+//! pooled persistent connections (see [`conn`]) instead of paying a TCP
+//! connect per request.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 pub mod chaos;
 pub mod client;
 pub mod cluster;
+pub mod conn;
 pub mod node;
 pub mod retry;
 pub mod route;
@@ -45,6 +48,7 @@ pub use cachecloud_metrics::telemetry::{Event, EventKind, EventSink, NodeStats};
 pub use chaos::{ChaosProfile, FaultKind, FaultyListener};
 pub use client::CloudClient;
 pub use cluster::LocalCluster;
+pub use conn::{Connection, ConnectionPool, PoolStats};
 pub use node::{CacheNode, NodeConfig};
 pub use retry::{RetryPolicy, RetryReport};
 pub use route::RouteTable;

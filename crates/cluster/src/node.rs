@@ -25,6 +25,7 @@ use cachecloud_storage::{CacheStore, LruPolicy};
 use cachecloud_types::{ByteSize, CacheCloudError, DocId, SimTime, Version};
 use parking_lot::{Mutex, RwLock};
 
+use crate::conn::{Connection, ConnectionPool};
 use crate::retry::RetryPolicy;
 use crate::route::RouteTable;
 use crate::wire::{read_frame, write_frame, Request, Response};
@@ -46,6 +47,10 @@ pub struct NodeConfig {
     pub irh_gen: u64,
     /// Retry policy of this node's outgoing peer RPCs.
     pub retry: RetryPolicy,
+    /// Whether outgoing peer RPCs reuse pooled persistent connections
+    /// (`false` falls back to one TCP connect per RPC, for comparison
+    /// benchmarks).
+    pub pooled: bool,
 }
 
 impl NodeConfig {
@@ -64,6 +69,7 @@ impl NodeConfig {
             points_per_ring,
             irh_gen: 1024,
             retry: RetryPolicy::default(),
+            pooled: true,
         }
     }
 }
@@ -184,6 +190,8 @@ struct State {
     telemetry: NodeTelemetry,
     /// Retry policy applied to every outgoing peer RPC.
     retry: RetryPolicy,
+    /// Pooled persistent connections to peers (`None` = connect per RPC).
+    pool: Option<ConnectionPool>,
     shutdown: AtomicBool,
 }
 
@@ -208,9 +216,10 @@ impl State {
     fn rpc(&self, addr: SocketAddr, req: &Request) -> Result<Response, CacheCloudError> {
         let t0 = Instant::now();
         let lane = u64::from(addr.port());
-        let (out, report) = self
-            .retry
-            .run(lane, "peer rpc", |budget| rpc_once(addr, req, Some(budget)));
+        let (out, report) = self.retry.run(lane, "peer rpc", |budget| match &self.pool {
+            Some(pool) => pool.rpc(addr, req, Some(budget)),
+            None => rpc_once(addr, req, Some(budget)),
+        });
         self.telemetry
             .rpc_ms
             .record(t0.elapsed().as_secs_f64() * 1e3);
@@ -286,6 +295,7 @@ impl CacheNode {
             loads: Mutex::new(HashMap::new()),
             telemetry: NodeTelemetry::new(sinks),
             retry: config.retry,
+            pool: config.pooled.then(ConnectionPool::new),
             shutdown: AtomicBool::new(false),
         });
         let thread_state = Arc::clone(&state);
@@ -339,6 +349,10 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, config: NodeConfig) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Responses must not sit in Nagle's buffer waiting for a delayed
+        // ACK: connections are long-lived under pooling, and every
+        // stalled response would add ~40 ms to a pooled exchange.
+        let _ = stream.set_nodelay(true);
         let state = Arc::clone(&state);
         let config = config.clone();
         let _ = std::thread::Builder::new()
@@ -760,47 +774,15 @@ fn serve_cooperative(state: &State, config: &NodeConfig, url: String) -> Respons
     Response::NotFound
 }
 
-/// One blocking request/response exchange with a peer. The whole exchange
-/// (connect, write, read) is bounded by `timeout` when one is given, so a
-/// stalled peer cannot hold a caller past its retry deadline. Failures
-/// carry the peer's address so cooperative-path errors name the node that
-/// caused them.
+/// One blocking request/response exchange with a peer over a throwaway
+/// connection. The whole exchange (connect, write, read) is bounded by
+/// `timeout` when one is given, so a stalled peer cannot hold a caller
+/// past its retry deadline. Failures carry the peer's address so
+/// cooperative-path errors name the node that caused them.
 pub(crate) fn rpc_once(
     addr: SocketAddr,
     req: &Request,
     timeout: Option<Duration>,
 ) -> Result<Response, CacheCloudError> {
-    rpc_inner(addr, req, timeout).map_err(|e| match e {
-        CacheCloudError::Io(m) => CacheCloudError::Io(format!("peer {addr}: {m}")),
-        CacheCloudError::Protocol(m) => CacheCloudError::Protocol(format!("peer {addr}: {m}")),
-        other => other,
-    })
-}
-
-fn rpc_inner(
-    addr: SocketAddr,
-    req: &Request,
-    timeout: Option<Duration>,
-) -> Result<Response, CacheCloudError> {
-    let stream = match timeout {
-        // A zero timeout would mean "no timeout" to the socket API; clamp
-        // to something that still fails fast.
-        Some(t) => {
-            let t = t.max(Duration::from_millis(1));
-            let stream = TcpStream::connect_timeout(&addr, t)?;
-            stream.set_read_timeout(Some(t))?;
-            stream.set_write_timeout(Some(t))?;
-            stream
-        }
-        None => TcpStream::connect(addr)?,
-    };
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    write_frame(&mut writer, &req.encode())?;
-    match read_frame(&mut reader)? {
-        Some(frame) => Response::decode(frame),
-        None => Err(CacheCloudError::Protocol(
-            "connection closed before response".into(),
-        )),
-    }
+    Connection::connect(addr, timeout)?.call(req, timeout)
 }

@@ -536,24 +536,41 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), CacheCloudErr
             body.len()
         )));
     }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(body)?;
+    // One write for prefix + body. Written separately, the 4-byte prefix
+    // segment leaves first and Nagle holds the body until it is ACKed;
+    // on a warm (pooled) connection the peer delays that ACK, costing
+    // ~40 ms per exchange. A single write never splits a small frame.
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    wire.extend_from_slice(body);
+    w.write_all(&wire)?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads one framed message from `r`. Returns `None` on clean EOF at a
-/// frame boundary.
+/// frame boundary; an EOF *inside* the length prefix or the body is an
+/// error, so a connection that dies mid-frame (a stale pooled stream, a
+/// half-forwarded proxy) is never mistaken for a graceful close.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures; rejects frames larger than [`MAX_FRAME`].
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Bytes>, CacheCloudError> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(CacheCloudError::Protocol(
+                    "connection closed inside a frame length prefix".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
@@ -747,6 +764,80 @@ mod tests {
         let f2 = read_frame(&mut cursor).unwrap().unwrap();
         assert_eq!(Request::decode(f2).unwrap(), Request::Stats);
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn many_sequential_exchanges_share_one_stream() {
+        // The property the connection pool depends on: N alternating
+        // request/response frames over a single byte stream, each framed
+        // independently, ending in a clean EOF.
+        let requests: Vec<Request> = (0..8)
+            .map(|i| Request::Serve {
+                url: format!("/doc/{i}"),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            write_frame(&mut wire, &req.encode()).unwrap();
+            let resp = Response::Document {
+                version: i as u64,
+                body: Bytes::from(vec![i as u8; 100 * (i + 1)]),
+            };
+            write_frame(&mut wire, &resp.encode()).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for (i, req) in requests.iter().enumerate() {
+            let f = read_frame(&mut cursor).unwrap().expect("request frame");
+            assert_eq!(&Request::decode(f).unwrap(), req, "exchange {i}");
+            let f = read_frame(&mut cursor).unwrap().expect("response frame");
+            match Response::decode(f).unwrap() {
+                Response::Document { version, body } => {
+                    assert_eq!(version, i as u64);
+                    assert_eq!(body.len(), 100 * (i + 1));
+                }
+                other => panic!("exchange {i}: unexpected {other:?}"),
+            }
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_second_frame_fails_only_the_second_read() {
+        // A reused connection that dies mid-second-frame must deliver the
+        // first frame intact and surface an error (not a clean EOF, not a
+        // mis-framed success) on the second.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Response::Pong.encode()).unwrap();
+        let second = Response::Document {
+            version: 9,
+            body: Bytes::from(vec![7u8; 64]),
+        }
+        .encode();
+        wire.extend_from_slice(&(second.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&second[..second.len() / 2]); // half a body
+        let mut cursor = std::io::Cursor::new(wire);
+        let f1 = read_frame(&mut cursor).unwrap().expect("first frame");
+        assert_eq!(Response::decode(f1).unwrap(), Response::Pong);
+        assert!(
+            read_frame(&mut cursor).is_err(),
+            "truncated second frame must be an error, not EOF"
+        );
+    }
+
+    #[test]
+    fn frame_cut_inside_second_length_prefix_is_clean_eof_vs_error() {
+        // Dying exactly at a frame boundary is a clean EOF; dying inside
+        // the next length prefix is not.
+        let mut at_boundary = Vec::new();
+        write_frame(&mut at_boundary, &Response::Ok.encode()).unwrap();
+        let mut mid_prefix = at_boundary.clone();
+        mid_prefix.extend_from_slice(&[0u8, 0]); // 2 of 4 length bytes
+        let mut cursor = std::io::Cursor::new(at_boundary);
+        read_frame(&mut cursor).unwrap().expect("first frame");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        let mut cursor = std::io::Cursor::new(mid_prefix);
+        read_frame(&mut cursor).unwrap().expect("first frame");
+        assert!(read_frame(&mut cursor).is_err());
     }
 
     #[test]

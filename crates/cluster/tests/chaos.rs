@@ -96,11 +96,20 @@ struct ChaosCloud {
 impl ChaosCloud {
     /// Spawns `n` nodes; node `i`'s proxy runs `profile_of(i)`. Peers and
     /// the client all dial the proxies, never the real listeners.
+    ///
+    /// `pooled` selects persistent pooled connections vs connect-per-RPC.
+    /// Scenarios whose fault pressure is *per connection* (e.g. "20% of
+    /// connections reset") pin `false`: under pooling a handful of
+    /// long-lived streams would drain the scripted fault schedule in a few
+    /// draws, which is the pooling win — not what those scenarios test.
+    /// Node-death scenarios keep `true` so severing pooled streams on
+    /// `set_down` stays covered.
     fn spawn(
         n: usize,
         seed: u64,
         capacity: ByteSize,
         node_policy: RetryPolicy,
+        pooled: bool,
         profile_of: impl Fn(u64) -> ChaosProfile,
     ) -> Result<ChaosCloud, CacheCloudError> {
         let listeners: Vec<TcpListener> = (0..n)
@@ -122,10 +131,13 @@ impl ChaosCloud {
             .map(|(id, listener)| {
                 let mut cfg = NodeConfig::new(id as u32, peers.clone(), capacity);
                 cfg.retry = node_policy;
+                cfg.pooled = pooled;
                 CacheNode::start_on(cfg, listener)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let client = CloudClient::new(peers)?.with_retry(client_retry(seed))?;
+        let client = CloudClient::new(peers)?
+            .with_retry(client_retry(seed))?
+            .with_pooling(pooled);
         Ok(ChaosCloud {
             nodes,
             proxies,
@@ -148,11 +160,18 @@ impl ChaosCloud {
 /// `(successes, typed_failures)`; panics on any untyped failure or an
 /// overrun deadline.
 fn run_faulted_workload(seed: u64) -> (u64, u64) {
-    let cloud = ChaosCloud::spawn(4, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
-        let mut p = ChaosProfile::new(seed, lane);
-        p.reset = 0.2;
-        p
-    })
+    let cloud = ChaosCloud::spawn(
+        4,
+        seed,
+        ByteSize::UNLIMITED,
+        node_retry(seed),
+        false,
+        |lane| {
+            let mut p = ChaosProfile::new(seed, lane);
+            p.reset = 0.2;
+            p
+        },
+    )
     .expect("cloud spawns");
     let client = &cloud.client;
     let urls: Vec<String> = (0..12).map(|i| format!("/chaos/{i}")).collect();
@@ -233,9 +252,14 @@ fn dead_beacon_degrades_to_failover_and_origin() -> Result<(), CacheCloudError> 
     );
     let seed = seeds()[0];
     // 4 nodes, 2-point rings: ring {0, 2} and ring {1, 3}.
-    let cloud = ChaosCloud::spawn(4, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
-        ChaosProfile::new(seed, lane)
-    })?;
+    let cloud = ChaosCloud::spawn(
+        4,
+        seed,
+        ByteSize::UNLIMITED,
+        node_retry(seed),
+        true,
+        |lane| ChaosProfile::new(seed, lane),
+    )?;
     let client = &cloud.client;
 
     // Documents whose beacon is node 0 (ring partner: node 2).
@@ -300,9 +324,14 @@ fn all_peer_holders_dead_falls_back_to_origin() -> Result<(), CacheCloudError> {
     );
     let seed = seeds()[0];
     // Bounded stores so eviction can strip the beacon's own copy.
-    let cloud = ChaosCloud::spawn(4, seed, ByteSize::from_bytes(8), node_retry(seed), |lane| {
-        ChaosProfile::new(seed, lane)
-    })?;
+    let cloud = ChaosCloud::spawn(
+        4,
+        seed,
+        ByteSize::from_bytes(8),
+        node_retry(seed),
+        true,
+        |lane| ChaosProfile::new(seed, lane),
+    )?;
     let client = &cloud.client;
 
     // A document homed on node 1 (alive throughout), plus two more node-1
@@ -349,9 +378,14 @@ fn beacon_death_mid_rebalance_keeps_directory_consistent() -> Result<(), CacheCl
         "beacon_death_mid_rebalance_keeps_directory_consistent",
     );
     let seed = seeds()[0];
-    let cloud = ChaosCloud::spawn(4, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
-        ChaosProfile::new(seed, lane)
-    })?;
+    let cloud = ChaosCloud::spawn(
+        4,
+        seed,
+        ByteSize::UNLIMITED,
+        node_retry(seed),
+        true,
+        |lane| ChaosProfile::new(seed, lane),
+    )?;
     let client = &cloud.client;
 
     let urls: Vec<String> = (0..10).map(|i| format!("/rebalance/{i}")).collect();
@@ -406,7 +440,7 @@ fn telemetry_reconciles_errors_timeouts_and_retries() -> Result<(), CacheCloudEr
         ..node_retry(seed)
     };
     // One ring of two nodes: 0 and 1 are ring partners.
-    let cloud = ChaosCloud::spawn(2, seed, ByteSize::UNLIMITED, policy, |lane| {
+    let cloud = ChaosCloud::spawn(2, seed, ByteSize::UNLIMITED, policy, true, |lane| {
         ChaosProfile::new(seed, lane)
     })?;
     let client = &cloud.client;
@@ -476,11 +510,18 @@ fn partial_writes_surface_typed_errors_within_deadline() -> Result<(), CacheClou
     // Single node, every response truncated mid-frame: the client must
     // exhaust its retries with a typed transport error, inside its
     // deadline — a half-delivered frame must never hang the reader.
-    let cloud = ChaosCloud::spawn(1, seed, ByteSize::UNLIMITED, node_retry(seed), |lane| {
-        let mut p = ChaosProfile::new(seed, lane);
-        p.partial = 1.0;
-        p
-    })?;
+    let cloud = ChaosCloud::spawn(
+        1,
+        seed,
+        ByteSize::UNLIMITED,
+        node_retry(seed),
+        false,
+        |lane| {
+            let mut p = ChaosProfile::new(seed, lane);
+            p.partial = 1.0;
+            p
+        },
+    )?;
     let t0 = Instant::now();
     let err = cloud
         .client

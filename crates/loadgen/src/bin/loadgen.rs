@@ -1,0 +1,175 @@
+//! The `loadgen` binary: benchmark a live cache cloud and emit
+//! `BENCH_cluster.json`.
+//!
+//! ```text
+//! loadgen [--smoke] [--out BENCH_cluster.json]
+//!         [--nodes N] [--seed S] [--qps Q] [--ops N] [--docs N]
+//!         [--theta T] [--workload zipf|sydney] [--workers N]
+//!         [--warmup-frac F] [--no-closed] [--think-ms MS]
+//!         [--compare-ops N] [--ramp Q1,Q2,...] [--body-cap BYTES]
+//! ```
+//!
+//! `--smoke` selects the small CI preset and exits non-zero unless the
+//! run produced a sane report (traffic flowed, error rate within bounds,
+//! deterministic schedule digest verified).
+
+use std::process::ExitCode;
+
+use cachecloud_loadgen::driver::{BenchConfig, Driver, WorkloadKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--smoke] [--out FILE] [--nodes N] [--seed S] [--qps Q] \
+         [--ops N] [--docs N] [--theta T] [--workload zipf|sydney] [--workers N] \
+         [--warmup-frac F] [--no-closed] [--think-ms MS] [--compare-ops N] \
+         [--ramp Q1,Q2,...] [--body-cap BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (BenchConfig, String, bool) {
+    let mut config = BenchConfig::standard();
+    let mut out = "BENCH_cluster.json".to_owned();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("loadgen: {flag} needs a value");
+            std::process::exit(2);
+        })
+    }
+    fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("loadgen: bad value {raw:?} for {flag}");
+            std::process::exit(2);
+        })
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                config = BenchConfig::smoke();
+            }
+            "--out" => out = value(&mut args, "--out"),
+            "--nodes" => config.nodes = parse(&value(&mut args, "--nodes"), "--nodes"),
+            "--seed" => config.seed = parse(&value(&mut args, "--seed"), "--seed"),
+            "--qps" => config.qps = parse(&value(&mut args, "--qps"), "--qps"),
+            "--ops" => config.ops = parse(&value(&mut args, "--ops"), "--ops"),
+            "--docs" => config.docs = parse(&value(&mut args, "--docs"), "--docs"),
+            "--theta" => config.theta = parse(&value(&mut args, "--theta"), "--theta"),
+            "--workers" => config.workers = parse(&value(&mut args, "--workers"), "--workers"),
+            "--warmup-frac" => {
+                config.warmup_frac = parse(&value(&mut args, "--warmup-frac"), "--warmup-frac");
+            }
+            "--no-closed" => config.closed = false,
+            "--think-ms" => config.think_ms = parse(&value(&mut args, "--think-ms"), "--think-ms"),
+            "--compare-ops" => {
+                config.compare_ops = parse(&value(&mut args, "--compare-ops"), "--compare-ops");
+            }
+            "--body-cap" => config.body_cap = parse(&value(&mut args, "--body-cap"), "--body-cap"),
+            "--ramp" => {
+                let raw = value(&mut args, "--ramp");
+                config.ramp = raw
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse(s.trim(), "--ramp"))
+                    .collect();
+            }
+            "--workload" => {
+                config.workload = match value(&mut args, "--workload").as_str() {
+                    "zipf" => WorkloadKind::Zipf,
+                    "sydney" => WorkloadKind::Sydney,
+                    other => {
+                        eprintln!("loadgen: unknown workload {other:?} (zipf|sydney)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    (config, out, smoke)
+}
+
+fn main() -> ExitCode {
+    let (config, out, smoke) = parse_args();
+    eprintln!(
+        "loadgen: {} nodes, seed {}, {} ops at {} qps ({})",
+        config.nodes,
+        config.seed,
+        config.ops,
+        config.qps,
+        config.workload.name()
+    );
+
+    let report = match Driver::new(config).run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("loadgen: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "loadgen: open loop achieved {:.0} qps (offered {:.0}), fetch p50 {:.2} ms / p99 {:.2} ms / p99.9 {:.2} ms, {} errors",
+        report.open.achieved_qps,
+        report.open.offered_qps,
+        report.open.fetch.p50_ms,
+        report.open.fetch.p99_ms,
+        report.open.fetch.p999_ms,
+        report.open.errors,
+    );
+    if let Some(cmp) = &report.comparison {
+        eprintln!(
+            "loadgen: pooled p99 {:.2} ms vs unpooled p99 {:.2} ms",
+            cmp.pooled.fetch.p99_ms, cmp.unpooled.fetch.p99_ms
+        );
+    }
+    eprintln!("loadgen: report written to {out}");
+
+    if smoke {
+        // The CI gate: traffic flowed, the schedule was deterministic,
+        // and the error rate stayed within bounds.
+        let mut failures = Vec::new();
+        if !report.digest_verified {
+            failures.push("schedule digest did not reproduce".to_owned());
+        }
+        if report.open.achieved_qps <= 0.0 {
+            failures.push("open loop achieved 0 qps".to_owned());
+        }
+        if report.open.measured_ops == 0 {
+            failures.push("no measured operations".to_owned());
+        }
+        let total = report.open.measured_ops.max(1);
+        let error_rate = report.open.errors as f64 / total as f64;
+        if error_rate > 0.02 {
+            failures.push(format!("error rate {error_rate:.4} exceeds 2%"));
+        }
+        if report.populate_errors > 0 {
+            failures.push(format!("{} populate failures", report.populate_errors));
+        }
+        if report.cluster.requests == 0 {
+            failures.push("cluster served no requests".to_owned());
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("loadgen: smoke check failed: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("loadgen: smoke checks passed");
+    }
+    ExitCode::SUCCESS
+}

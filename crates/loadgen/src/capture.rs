@@ -1,0 +1,183 @@
+//! Latency capture: per-operation-kind histograms and their summaries.
+
+use cachecloud_metrics::LogHistogram;
+
+use crate::schedule::OpKind;
+
+/// Per-kind latency histograms plus error counts for one worker (or one
+/// merged run). Workers each own a `Recorder` and the driver folds them
+/// together at the end — no lock on the hot path.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    fetch: LogHistogram,
+    update: LogHistogram,
+    publish: LogHistogram,
+    fetch_errors: u64,
+    update_errors: u64,
+    publish_errors: u64,
+    /// Fetches answered `None` (no cloud copy — the caller would go to
+    /// the origin). Not errors, but worth surfacing.
+    misses: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder using the millisecond latency preset.
+    pub fn new() -> Self {
+        Recorder {
+            fetch: LogHistogram::latency_ms(),
+            update: LogHistogram::latency_ms(),
+            publish: LogHistogram::latency_ms(),
+            fetch_errors: 0,
+            update_errors: 0,
+            publish_errors: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records a successful operation's latency in milliseconds.
+    pub fn record_ok(&mut self, kind: OpKind, latency_ms: f64) {
+        self.hist_mut(kind).record(latency_ms);
+    }
+
+    /// Records a failed operation.
+    pub fn record_err(&mut self, kind: OpKind) {
+        match kind {
+            OpKind::Fetch => self.fetch_errors += 1,
+            OpKind::Update => self.update_errors += 1,
+            OpKind::Publish => self.publish_errors += 1,
+        }
+    }
+
+    /// Records a fetch that found no cloud copy.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// The latency histogram for `kind`.
+    pub fn histogram(&self, kind: OpKind) -> &LogHistogram {
+        match kind {
+            OpKind::Fetch => &self.fetch,
+            OpKind::Update => &self.update,
+            OpKind::Publish => &self.publish,
+        }
+    }
+
+    fn hist_mut(&mut self, kind: OpKind) -> &mut LogHistogram {
+        match kind {
+            OpKind::Fetch => &mut self.fetch,
+            OpKind::Update => &mut self.update,
+            OpKind::Publish => &mut self.publish,
+        }
+    }
+
+    /// Failed operations of `kind`.
+    pub fn errors(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Fetch => self.fetch_errors,
+            OpKind::Update => self.update_errors,
+            OpKind::Publish => self.publish_errors,
+        }
+    }
+
+    /// Total failed operations across kinds.
+    pub fn total_errors(&self) -> u64 {
+        self.fetch_errors + self.update_errors + self.publish_errors
+    }
+
+    /// Total successful operations across kinds.
+    pub fn total_ok(&self) -> u64 {
+        self.fetch.count() + self.update.count() + self.publish.count()
+    }
+
+    /// Fetches that found no cloud copy.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Folds another recorder into this one.
+    pub fn merge(&mut self, other: &Recorder) {
+        self.fetch.merge(&other.fetch);
+        self.update.merge(&other.update);
+        self.publish.merge(&other.publish);
+        self.fetch_errors += other.fetch_errors;
+        self.update_errors += other.update_errors;
+        self.publish_errors += other.publish_errors;
+        self.misses += other.misses;
+    }
+}
+
+/// The quantiles a benchmark report carries for one operation kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Successful operations summarized.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Exact slowest sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &LogHistogram) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            mean_ms: h.mean(),
+            p50_ms: h.quantile(0.50),
+            p95_ms: h.quantile(0.95),
+            p99_ms: h.quantile(0.99),
+            p999_ms: h.quantile(0.999),
+            max_ms: h.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorders_merge_across_workers() {
+        let mut a = Recorder::new();
+        let mut b = Recorder::new();
+        a.record_ok(OpKind::Fetch, 1.0);
+        a.record_err(OpKind::Update);
+        b.record_ok(OpKind::Fetch, 100.0);
+        b.record_ok(OpKind::Update, 5.0);
+        b.record_miss();
+        a.merge(&b);
+        assert_eq!(a.histogram(OpKind::Fetch).count(), 2);
+        assert_eq!(a.histogram(OpKind::Update).count(), 1);
+        assert_eq!(a.errors(OpKind::Update), 1);
+        assert_eq!(a.total_ok(), 3);
+        assert_eq!(a.total_errors(), 1);
+        assert_eq!(a.misses(), 1);
+    }
+
+    #[test]
+    fn summaries_preserve_quantile_order_and_extremes() {
+        let mut r = Recorder::new();
+        for i in 1..=1000 {
+            r.record_ok(OpKind::Fetch, i as f64 * 0.1);
+        }
+        let s = LatencySummary::of(r.histogram(OpKind::Fetch));
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        assert!(s.p99_ms <= s.p999_ms && s.p999_ms <= s.max_ms);
+        assert_eq!(s.max_ms, 100.0);
+    }
+}

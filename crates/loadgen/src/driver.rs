@@ -1,0 +1,541 @@
+//! Executing schedules against a live cluster.
+//!
+//! Two driving disciplines, per the benchmarking literature's standard
+//! split:
+//!
+//! * **Open loop** — operations leave at the schedule's fixed arrival
+//!   times regardless of how the previous ones fared, and latency is
+//!   measured from the *intended* send time. A server that stalls for a
+//!   second eats that second in every sample queued behind the stall,
+//!   instead of silently pausing the load generator — the fix for
+//!   *coordinated omission*, which makes tail percentiles look orders of
+//!   magnitude better than what a real client population would see.
+//! * **Closed loop** — a fixed population of workers issue requests
+//!   back-to-back (optionally separated by think time), and latency is
+//!   measured from the actual send. This measures the server's best-case
+//!   pipeline, and is reported alongside for contrast.
+//!
+//! Origin-side updates ride a dedicated injector thread driving the
+//! beacon `update` path, mirroring the paper's single origin per cloud.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cachecloud_cluster::{CloudClient, LocalCluster};
+use cachecloud_metrics::Summary;
+use cachecloud_types::{ByteSize, CacheCloudError};
+use cachecloud_workload::{SydneyTraceBuilder, Trace, ZipfTraceBuilder};
+
+use crate::capture::{LatencySummary, Recorder};
+use crate::report::{
+    BenchReport, ClusterReport, Comparison, NodeBrief, PoolCounters, RampPoint, RunReport,
+};
+use crate::schedule::{Op, OpKind, Schedule};
+
+/// Which workload synthesizer feeds the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Zipf-θ accesses and updates (the paper's synthetic dataset).
+    Zipf,
+    /// The Sydney-Olympics stand-in (diurnal + flash crowds).
+    Sydney,
+}
+
+impl WorkloadKind {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Zipf => "zipf",
+            WorkloadKind::Sydney => "sydney",
+        }
+    }
+}
+
+/// Everything one benchmark run needs to know.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Seed for the workload synthesizer (and thus the whole schedule).
+    pub seed: u64,
+    /// Offered open-loop rate, operations per second.
+    pub qps: f64,
+    /// Operations in the measured schedule.
+    pub ops: usize,
+    /// Documents in the catalog.
+    pub docs: usize,
+    /// Zipf skew parameter.
+    pub theta: f64,
+    /// Which synthesizer.
+    pub workload: WorkloadKind,
+    /// Leading fraction of the schedule treated as warmup (sent, not
+    /// recorded).
+    pub warmup_frac: f64,
+    /// Dispatcher threads (open loop) / worker population (closed loop).
+    pub workers: usize,
+    /// Also run a closed-loop pass.
+    pub closed: bool,
+    /// Closed-loop think time between a worker's operations.
+    pub think_ms: u64,
+    /// Operations for the pooled-vs-unpooled comparison (0 skips it).
+    pub compare_ops: usize,
+    /// Offered rates for a throughput ramp (empty skips it).
+    pub ramp: Vec<f64>,
+    /// Cap on generated body sizes in bytes (catalog sizes can reach
+    /// hundreds of KiB; benches don't need to move that much).
+    pub body_cap: u64,
+}
+
+impl BenchConfig {
+    /// The CI smoke preset: small, seeded, finishes in well under a
+    /// minute.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            nodes: 3,
+            seed: 42,
+            qps: 300.0,
+            ops: 1_500,
+            docs: 60,
+            theta: 0.9,
+            workload: WorkloadKind::Zipf,
+            warmup_frac: 0.2,
+            workers: 4,
+            closed: true,
+            think_ms: 0,
+            compare_ops: 400,
+            ramp: Vec::new(),
+            body_cap: 2_048,
+        }
+    }
+
+    /// The default full bench: the paper's Zipf-0.9 mix at a rate that
+    /// exercises queuing without saturating a laptop.
+    pub fn standard() -> Self {
+        BenchConfig {
+            nodes: 4,
+            seed: 42,
+            qps: 800.0,
+            ops: 8_000,
+            docs: 200,
+            theta: 0.9,
+            workload: WorkloadKind::Zipf,
+            warmup_frac: 0.15,
+            workers: 8,
+            closed: true,
+            think_ms: 0,
+            compare_ops: 1_000,
+            ramp: vec![200.0, 400.0, 800.0, 1_600.0],
+            body_cap: 4_096,
+        }
+    }
+}
+
+/// Runs one full benchmark: populate → open loop → (closed loop) →
+/// (ramp) → telemetry scrape → (pooled-vs-unpooled comparison).
+#[derive(Debug)]
+pub struct Driver {
+    config: BenchConfig,
+}
+
+/// Shared, immutable per-run context: URL and body-size lookup per
+/// catalog index, plus the per-document version clock the origin
+/// injector advances.
+struct DocSet {
+    urls: Vec<String>,
+    sizes: Vec<u64>,
+    versions: Vec<AtomicU64>,
+}
+
+impl DocSet {
+    fn of(trace: &Trace, body_cap: u64) -> Arc<DocSet> {
+        let catalog = trace.catalog();
+        let mut urls = Vec::with_capacity(catalog.len());
+        let mut sizes = Vec::with_capacity(catalog.len());
+        let mut versions = Vec::with_capacity(catalog.len());
+        for doc in catalog.iter() {
+            urls.push(doc.id.url().to_owned());
+            sizes.push(doc.size.as_bytes().clamp(1, body_cap.max(1)));
+            versions.push(AtomicU64::new(1));
+        }
+        Arc::new(DocSet {
+            urls,
+            sizes,
+            versions,
+        })
+    }
+
+    fn body(&self, doc: u32, version: u64) -> Vec<u8> {
+        let fill = (u64::from(doc) ^ version) as u8;
+        vec![fill; self.sizes[doc as usize] as usize]
+    }
+}
+
+impl Driver {
+    /// A driver for `config`.
+    pub fn new(config: BenchConfig) -> Self {
+        Driver { config }
+    }
+
+    /// Builds the deterministic trace for this config and seed.
+    pub fn build_trace(&self) -> Trace {
+        let c = &self.config;
+        match c.workload {
+            WorkloadKind::Zipf => ZipfTraceBuilder::new()
+                .documents(c.docs)
+                .theta(c.theta)
+                .caches(c.nodes)
+                .duration_minutes(10)
+                .requests_per_cache_per_minute(600.0)
+                .updates_per_minute(120.0)
+                .seed(c.seed)
+                .build(),
+            WorkloadKind::Sydney => SydneyTraceBuilder::new()
+                .documents(c.docs)
+                .caches(c.nodes)
+                .duration_minutes(60)
+                .requests_per_cache_per_minute(100.0)
+                .updates_per_minute(40.0)
+                .seed(c.seed)
+                .build(),
+        }
+    }
+
+    /// Runs the whole benchmark and assembles the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-spawn and telemetry-scrape failures; individual
+    /// operation failures are counted in the report instead.
+    pub fn run(&self) -> Result<BenchReport, CacheCloudError> {
+        let c = self.config.clone();
+        let trace = self.build_trace();
+        let schedule = Schedule::from_trace(&trace, c.qps, c.ops);
+        // The determinism contract: rebuilding from the same seed must
+        // reproduce the identical operation stream.
+        let replay = Schedule::from_trace(&self.build_trace(), c.qps, c.ops);
+        let digest_verified = replay.digest() == schedule.digest();
+
+        let cluster = LocalCluster::spawn_with_options(c.nodes, ByteSize::UNLIMITED, true)?;
+        let client = cluster.client();
+        let docs = DocSet::of(&trace, c.body_cap);
+
+        let (populate, populate_errors) = populate(&client, &docs);
+
+        let warmup_us = (schedule.span_secs() * c.warmup_frac * 1e6) as u64;
+        let open = run_open(&client, &schedule, &docs, c.nodes, c.workers, warmup_us);
+
+        let closed = c
+            .closed
+            .then(|| run_closed(&client, &schedule, &docs, c.nodes, c.workers, c.think_ms));
+
+        let mut ramp = Vec::new();
+        for &step in &c.ramp {
+            let seg = Schedule::from_trace(&trace, step, 500);
+            let run = run_open(&client, &seg, &docs, c.nodes, c.workers, 0);
+            ramp.push(RampPoint {
+                offered_qps: step,
+                achieved_qps: run.achieved_qps,
+                p99_ms: run.fetch.p99_ms,
+                errors: run.errors,
+            });
+        }
+
+        let cluster_report = scrape_cluster(&client, c.nodes)?;
+        let pool = client.pool_stats().map(PoolCounters::of);
+
+        let comparison = if c.compare_ops > 0 {
+            Some(self.compare_pooling(&trace)?)
+        } else {
+            None
+        };
+
+        cluster.shutdown();
+
+        Ok(BenchReport {
+            schema: "cachecloud-loadgen/1".to_owned(),
+            seed: c.seed,
+            nodes: c.nodes,
+            workload: c.workload.name().to_owned(),
+            theta: c.theta,
+            docs: c.docs,
+            offered_qps: c.qps,
+            schedule_ops: schedule.len(),
+            schedule_digest: format!("{:016x}", schedule.digest()),
+            digest_verified,
+            populate,
+            populate_errors,
+            open,
+            closed,
+            ramp,
+            cluster: cluster_report,
+            pool,
+            comparison,
+        })
+    }
+
+    /// Replays the same schedule prefix against two fresh clusters — one
+    /// with pooled persistent connections, one paying a TCP connect per
+    /// RPC — and reports both.
+    fn compare_pooling(&self, trace: &Trace) -> Result<Comparison, CacheCloudError> {
+        let c = &self.config;
+        let schedule = Schedule::from_trace(trace, c.qps, c.compare_ops);
+        let warmup_us = (schedule.span_secs() * 0.1 * 1e6) as u64;
+        let mut runs = Vec::with_capacity(2);
+        let mut counters = Vec::with_capacity(2);
+        for pooled in [true, false] {
+            let cluster = LocalCluster::spawn_with_options(c.nodes, ByteSize::UNLIMITED, pooled)?;
+            let client = cluster.client().with_pooling(pooled);
+            let docs = DocSet::of(trace, c.body_cap);
+            let _ = populate(&client, &docs);
+            let mut run = run_open(&client, &schedule, &docs, c.nodes, c.workers, warmup_us);
+            run.mode = if pooled {
+                "open/pooled".to_owned()
+            } else {
+                "open/unpooled".to_owned()
+            };
+            counters.push(client.pool_stats().map(PoolCounters::of));
+            runs.push(run);
+            cluster.shutdown();
+        }
+        let unpooled = runs.pop().expect("two runs");
+        let pooled = runs.pop().expect("two runs");
+        Ok(Comparison {
+            pooled,
+            unpooled,
+            pooled_pool: counters.swap_remove(0),
+        })
+    }
+}
+
+/// Publishes every catalog document at version 1, recording publish
+/// latencies closed-loop. Returns the summary and the error count.
+fn populate(client: &CloudClient, docs: &DocSet) -> (LatencySummary, u64) {
+    let mut rec = Recorder::new();
+    for doc in 0..docs.urls.len() as u32 {
+        let body = docs.body(doc, 1);
+        let t0 = Instant::now();
+        match client.publish(&docs.urls[doc as usize], body, 1) {
+            Ok(()) => rec.record_ok(OpKind::Publish, t0.elapsed().as_secs_f64() * 1e3),
+            Err(_) => rec.record_err(OpKind::Publish),
+        }
+    }
+    (
+        LatencySummary::of(rec.histogram(OpKind::Publish)),
+        rec.errors(OpKind::Publish),
+    )
+}
+
+/// One operation against the cloud; records into `rec` unless the
+/// intended send time is still inside the warmup window.
+fn execute(
+    client: &CloudClient,
+    docs: &DocSet,
+    nodes: usize,
+    op: Op,
+    latency_from: Instant,
+    warm: bool,
+    rec: &mut Recorder,
+) {
+    match op.kind {
+        OpKind::Fetch => {
+            let via = op.cache % nodes as u32;
+            let out = client.fetch_via(via, &docs.urls[op.doc as usize]);
+            if !warm {
+                return;
+            }
+            match out {
+                Ok(found) => {
+                    rec.record_ok(OpKind::Fetch, latency_from.elapsed().as_secs_f64() * 1e3);
+                    if found.is_none() {
+                        rec.record_miss();
+                    }
+                }
+                Err(_) => rec.record_err(OpKind::Fetch),
+            }
+        }
+        OpKind::Update | OpKind::Publish => {
+            let version = docs.versions[op.doc as usize].fetch_add(1, Ordering::SeqCst) + 1;
+            let body = docs.body(op.doc, version);
+            let out = client.update(&docs.urls[op.doc as usize], body, version);
+            if !warm {
+                return;
+            }
+            match out {
+                Ok(()) => rec.record_ok(OpKind::Update, latency_from.elapsed().as_secs_f64() * 1e3),
+                Err(_) => rec.record_err(OpKind::Update),
+            }
+        }
+    }
+}
+
+/// Open-loop execution: fetches fan out over `workers` dispatcher
+/// threads, updates ride one origin-injector thread, and every latency
+/// is measured from the operation's *intended* send time.
+fn run_open(
+    client: &CloudClient,
+    schedule: &Schedule,
+    docs: &Arc<DocSet>,
+    nodes: usize,
+    workers: usize,
+    warmup_us: u64,
+) -> RunReport {
+    let workers = workers.max(1);
+    let mut fetch_shards: Vec<Vec<Op>> = vec![Vec::new(); workers];
+    let mut updates: Vec<Op> = Vec::new();
+    for (i, op) in schedule.ops().iter().enumerate() {
+        match op.kind {
+            OpKind::Fetch => fetch_shards[i % workers].push(*op),
+            OpKind::Update | OpKind::Publish => updates.push(*op),
+        }
+    }
+
+    let epoch = Instant::now();
+    let lanes: Vec<Vec<Op>> = fetch_shards.into_iter().chain([updates]).collect();
+    let recorders: Vec<Recorder> = std::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .iter()
+            .map(|lane| {
+                let client = client.clone();
+                let docs = Arc::clone(docs);
+                s.spawn(move || {
+                    let mut rec = Recorder::new();
+                    for op in lane {
+                        let intended = epoch + Duration::from_micros(op.at_us);
+                        let now = Instant::now();
+                        if intended > now {
+                            std::thread::sleep(intended - now);
+                        }
+                        let warm = op.at_us >= warmup_us;
+                        execute(&client, &docs, nodes, *op, intended, warm, &mut rec);
+                    }
+                    rec
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall_s = epoch.elapsed().as_secs_f64();
+
+    let mut rec = Recorder::new();
+    for r in &recorders {
+        rec.merge(r);
+    }
+    let measured_span = (wall_s - warmup_us as f64 / 1e6).max(1e-9);
+    finish("open", schedule.offered_qps(), wall_s, measured_span, rec)
+}
+
+/// Closed-loop execution: every operation (updates included) is sharded
+/// round-robin over `workers`, each issuing back-to-back with optional
+/// think time; latency is measured from the actual send.
+fn run_closed(
+    client: &CloudClient,
+    schedule: &Schedule,
+    docs: &Arc<DocSet>,
+    nodes: usize,
+    workers: usize,
+    think_ms: u64,
+) -> RunReport {
+    let workers = workers.max(1);
+    let mut shards: Vec<Vec<Op>> = vec![Vec::new(); workers];
+    for (i, op) in schedule.ops().iter().enumerate() {
+        shards[i % workers].push(*op);
+    }
+    let epoch = Instant::now();
+    let recorders: Vec<Recorder> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let client = client.clone();
+                let docs = Arc::clone(docs);
+                s.spawn(move || {
+                    let mut rec = Recorder::new();
+                    for op in shard {
+                        let sent = Instant::now();
+                        execute(&client, &docs, nodes, *op, sent, true, &mut rec);
+                        if think_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(think_ms));
+                        }
+                    }
+                    rec
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall_s = epoch.elapsed().as_secs_f64();
+    let mut rec = Recorder::new();
+    for r in &recorders {
+        rec.merge(r);
+    }
+    finish("closed", 0.0, wall_s, wall_s, rec)
+}
+
+fn finish(
+    mode: &str,
+    offered_qps: f64,
+    wall_s: f64,
+    measured_span_s: f64,
+    rec: Recorder,
+) -> RunReport {
+    let measured_ops = rec.total_ok() + rec.total_errors();
+    RunReport {
+        mode: mode.to_owned(),
+        offered_qps,
+        achieved_qps: measured_ops as f64 / measured_span_s.max(1e-9),
+        wall_s,
+        measured_ops,
+        errors: rec.total_errors(),
+        misses: rec.misses(),
+        fetch: LatencySummary::of(rec.histogram(OpKind::Fetch)),
+        update: LatencySummary::of(rec.histogram(OpKind::Update)),
+    }
+}
+
+/// Scrapes cloud-wide telemetry: counters, hit ratio, and the per-node
+/// beacon-load coefficient of variation (the paper's balance metric).
+fn scrape_cluster(client: &CloudClient, nodes: usize) -> Result<ClusterReport, CacheCloudError> {
+    let mut per_node = Vec::with_capacity(nodes);
+    let mut beacon_loads = Vec::with_capacity(nodes);
+    for node in 0..nodes as u32 {
+        let stats = client.stats(node)?;
+        let load: f64 = client
+            .load_ledger(node)?
+            .iter()
+            .map(|(_, _, load)| load)
+            .sum();
+        beacon_loads.push(load);
+        per_node.push(NodeBrief {
+            node,
+            requests: stats.counter("requests"),
+            resident: stats.resident,
+            beacon_load: load,
+        });
+    }
+    let total = client.cloud_stats()?;
+    let requests = total.counter("requests");
+    let hits = total.counter("local_hits") + total.counter("cloud_hits");
+    let loads = Summary::of(&beacon_loads);
+    Ok(ClusterReport {
+        requests,
+        local_hits: total.counter("local_hits"),
+        cloud_hits: total.counter("cloud_hits"),
+        origin_fetches: total.counter("origin_fetches"),
+        hit_ratio: if requests == 0 {
+            0.0
+        } else {
+            hits as f64 / requests as f64
+        },
+        rpc_retries: total.counter("rpc_retries"),
+        rpc_errors: total.counter("rpc_errors"),
+        rpc_timeouts: total.counter("rpc_timeouts"),
+        beacon_load_cov: loads.coefficient_of_variation(),
+        per_node,
+    })
+}

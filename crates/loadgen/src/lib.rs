@@ -1,0 +1,49 @@
+//! Live load generation and benchmarking for the cache-cloud cluster.
+//!
+//! The simulator answers "does the paper's design work"; this crate
+//! answers "how fast does our implementation of it run". It replays the
+//! workload synthesizers from `cachecloud-workload` (Zipf-θ and the
+//! Sydney stand-in) against a real [`cachecloud_cluster::LocalCluster`]
+//! over TCP and measures what the paper's tables never could: wall-clock
+//! latency percentiles, achieved throughput, and the cost of a TCP
+//! connect per RPC versus pooled persistent connections.
+//!
+//! The pieces:
+//!
+//! * [`schedule`] — turns a deterministic trace into a time-stamped
+//!   operation schedule (same seed ⇒ byte-identical schedule, checked by
+//!   a digest);
+//! * [`driver`] — executes a schedule **open-loop** (fixed arrival times;
+//!   latency measured from the *intended* send time, so a stalled server
+//!   cannot pause the clock — no coordinated omission) or **closed-loop**
+//!   (N workers, optional think time), with origin updates injected on a
+//!   dedicated thread through the beacon update path;
+//! * [`capture`] — warmup-aware per-operation-kind latency recording into
+//!   log-bucketed histograms ([`cachecloud_metrics::LogHistogram`]);
+//! * [`report`] — the `BENCH_cluster.json` report: achieved qps,
+//!   p50/p95/p99/p99.9 per op kind, error counts, cluster-side telemetry,
+//!   beacon-load imbalance, and a pooled-vs-unpooled comparison.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cachecloud_loadgen::driver::{BenchConfig, Driver};
+//!
+//! let config = BenchConfig::smoke();
+//! let report = Driver::new(config).run()?;
+//! assert!(report.open.achieved_qps > 0.0);
+//! # Ok::<(), cachecloud_types::CacheCloudError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod driver;
+pub mod report;
+pub mod schedule;
+
+pub use capture::{LatencySummary, Recorder};
+pub use driver::{BenchConfig, Driver, WorkloadKind};
+pub use report::BenchReport;
+pub use schedule::{Op, OpKind, Schedule};

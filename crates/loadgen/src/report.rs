@@ -1,0 +1,605 @@
+//! The benchmark report and its JSON rendering.
+//!
+//! The report is written by hand rather than through a serialization
+//! framework: the cluster stack deliberately stays serde-free, the
+//! schema is small and flat, and a hand-rolled writer keeps the crate's
+//! dependency set identical to the cluster's. [`BenchReport::to_json`]
+//! emits deterministic, pretty-printed JSON suitable for committing as
+//! `BENCH_cluster.json` and diffing across runs.
+
+use cachecloud_cluster::PoolStats;
+
+use crate::capture::LatencySummary;
+
+/// One driven run (open or closed loop) as reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// `"open"`, `"closed"`, `"open/pooled"`, `"open/unpooled"`.
+    pub mode: String,
+    /// Offered rate (0 for closed loop, which has no arrival schedule).
+    pub offered_qps: f64,
+    /// Measured operations per second over the measurement window.
+    pub achieved_qps: f64,
+    /// Wall-clock seconds of the whole run (warmup included).
+    pub wall_s: f64,
+    /// Operations inside the measurement window.
+    pub measured_ops: u64,
+    /// Failed operations inside the measurement window.
+    pub errors: u64,
+    /// Fetches that found no cloud copy.
+    pub misses: u64,
+    /// Fetch latency (open loop: from intended send time).
+    pub fetch: LatencySummary,
+    /// Origin-update latency.
+    pub update: LatencySummary,
+}
+
+/// Cloud-side telemetry scraped after the driven runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Requests served by the cloud.
+    pub requests: u64,
+    /// Hits from the serving node's own store.
+    pub local_hits: u64,
+    /// Hits via a peer holder.
+    pub cloud_hits: u64,
+    /// Misses that went to the origin.
+    pub origin_fetches: u64,
+    /// (local + cloud hits) / requests.
+    pub hit_ratio: f64,
+    /// Node-side RPC retry attempts.
+    pub rpc_retries: u64,
+    /// Node-side RPCs that failed after exhausting retries.
+    pub rpc_errors: u64,
+    /// Node-side RPC deadline expirations.
+    pub rpc_timeouts: u64,
+    /// Coefficient of variation of per-node beacon load (the paper's
+    /// balance metric: lower is flatter).
+    pub beacon_load_cov: f64,
+    /// Per-node snapshot.
+    pub per_node: Vec<NodeBrief>,
+}
+
+/// One node's line in the report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeBrief {
+    /// Node id.
+    pub node: u32,
+    /// Requests this node served.
+    pub requests: u64,
+    /// Documents resident in its store.
+    pub resident: u64,
+    /// Its drained beacon-load ledger total.
+    pub beacon_load: f64,
+}
+
+/// Connection-pool lifetime counters as reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Fresh TCP connects.
+    pub opened: u64,
+    /// Exchanges served by an idle pooled connection.
+    pub reused: u64,
+    /// Connections discarded after a failed exchange.
+    pub discarded: u64,
+}
+
+impl PoolCounters {
+    /// Converts the pool's own counters.
+    pub fn of(stats: PoolStats) -> Self {
+        PoolCounters {
+            opened: stats.opened,
+            reused: stats.reused,
+            discarded: stats.discarded,
+        }
+    }
+}
+
+/// One step of the throughput ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampPoint {
+    /// The step's offered rate.
+    pub offered_qps: f64,
+    /// What the cloud actually absorbed.
+    pub achieved_qps: f64,
+    /// Fetch p99 at this step.
+    pub p99_ms: f64,
+    /// Failed operations at this step.
+    pub errors: u64,
+}
+
+/// The pooled-vs-unpooled comparison: the identical schedule prefix
+/// replayed against a pooled and an unpooled cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The pooled run.
+    pub pooled: RunReport,
+    /// The connect-per-RPC run.
+    pub unpooled: RunReport,
+    /// The pooled client's pool counters.
+    pub pooled_pool: Option<PoolCounters>,
+}
+
+/// Everything `BENCH_cluster.json` carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report schema identifier.
+    pub schema: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Workload name (`"zipf"` / `"sydney"`).
+    pub workload: String,
+    /// Zipf skew.
+    pub theta: f64,
+    /// Catalog size.
+    pub docs: usize,
+    /// Offered open-loop rate.
+    pub offered_qps: f64,
+    /// Operations in the schedule.
+    pub schedule_ops: usize,
+    /// Hex FNV-1a digest of the schedule.
+    pub schedule_digest: String,
+    /// True when rebuilding the schedule from the seed reproduced the
+    /// same digest (the determinism check).
+    pub digest_verified: bool,
+    /// Populate-phase publish latency.
+    pub populate: LatencySummary,
+    /// Populate-phase failures.
+    pub populate_errors: u64,
+    /// The open-loop (coordinated-omission-free) run.
+    pub open: RunReport,
+    /// The closed-loop run, when configured.
+    pub closed: Option<RunReport>,
+    /// Throughput-ramp steps, when configured.
+    pub ramp: Vec<RampPoint>,
+    /// Cloud-side telemetry.
+    pub cluster: ClusterReport,
+    /// The main client's pool counters (None when pooling is off).
+    pub pool: Option<PoolCounters>,
+    /// Pooled-vs-unpooled comparison, when configured.
+    pub comparison: Option<Comparison>,
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open();
+        w.str("schema", &self.schema);
+        w.num("seed", self.seed as f64);
+        w.num("nodes", self.nodes as f64);
+        w.str("workload", &self.workload);
+        w.num("theta", self.theta);
+        w.num("docs", self.docs as f64);
+        w.num("offered_qps", self.offered_qps);
+        w.num("schedule_ops", self.schedule_ops as f64);
+        w.str("schedule_digest", &self.schedule_digest);
+        w.bool("digest_verified", self.digest_verified);
+        w.key("populate");
+        write_latency(&mut w, &self.populate);
+        w.num("populate_errors", self.populate_errors as f64);
+        w.key("open");
+        write_run(&mut w, &self.open);
+        w.key("closed");
+        match &self.closed {
+            Some(run) => write_run(&mut w, run),
+            None => w.null(),
+        }
+        w.key("ramp");
+        w.open_array();
+        for point in &self.ramp {
+            w.array_item();
+            w.open();
+            w.num("offered_qps", point.offered_qps);
+            w.num("achieved_qps", point.achieved_qps);
+            w.num("fetch_p99_ms", point.p99_ms);
+            w.num("errors", point.errors as f64);
+            w.close();
+        }
+        w.close_array();
+        w.key("cluster");
+        w.open();
+        w.num("requests", self.cluster.requests as f64);
+        w.num("local_hits", self.cluster.local_hits as f64);
+        w.num("cloud_hits", self.cluster.cloud_hits as f64);
+        w.num("origin_fetches", self.cluster.origin_fetches as f64);
+        w.num("hit_ratio", self.cluster.hit_ratio);
+        w.num("rpc_retries", self.cluster.rpc_retries as f64);
+        w.num("rpc_errors", self.cluster.rpc_errors as f64);
+        w.num("rpc_timeouts", self.cluster.rpc_timeouts as f64);
+        w.num("beacon_load_cov", self.cluster.beacon_load_cov);
+        w.key("per_node");
+        w.open_array();
+        for node in &self.cluster.per_node {
+            w.array_item();
+            w.open();
+            w.num("node", f64::from(node.node));
+            w.num("requests", node.requests as f64);
+            w.num("resident", node.resident as f64);
+            w.num("beacon_load", node.beacon_load);
+            w.close();
+        }
+        w.close_array();
+        w.close();
+        w.key("pool");
+        write_pool(&mut w, self.pool.as_ref());
+        w.key("comparison");
+        match &self.comparison {
+            Some(cmp) => {
+                w.open();
+                w.key("pooled");
+                write_run(&mut w, &cmp.pooled);
+                w.key("unpooled");
+                write_run(&mut w, &cmp.unpooled);
+                w.key("pooled_pool");
+                write_pool(&mut w, cmp.pooled_pool.as_ref());
+                w.close();
+            }
+            None => w.null(),
+        }
+        w.close();
+        w.finish()
+    }
+}
+
+fn write_latency(w: &mut JsonWriter, s: &LatencySummary) {
+    w.open();
+    w.num("count", s.count as f64);
+    w.num("mean_ms", s.mean_ms);
+    w.num("p50_ms", s.p50_ms);
+    w.num("p95_ms", s.p95_ms);
+    w.num("p99_ms", s.p99_ms);
+    w.num("p999_ms", s.p999_ms);
+    w.num("max_ms", s.max_ms);
+    w.close();
+}
+
+fn write_run(w: &mut JsonWriter, run: &RunReport) {
+    w.open();
+    w.str("mode", &run.mode);
+    w.num("offered_qps", run.offered_qps);
+    w.num("achieved_qps", run.achieved_qps);
+    w.num("wall_s", run.wall_s);
+    w.num("measured_ops", run.measured_ops as f64);
+    w.num("errors", run.errors as f64);
+    w.num("misses", run.misses as f64);
+    w.key("fetch");
+    write_latency(w, &run.fetch);
+    w.key("update");
+    write_latency(w, &run.update);
+    w.close();
+}
+
+fn write_pool(w: &mut JsonWriter, pool: Option<&PoolCounters>) {
+    match pool {
+        Some(p) => {
+            w.open();
+            w.num("opened", p.opened as f64);
+            w.num("reused", p.reused as f64);
+            w.num("discarded", p.discarded as f64);
+            w.close();
+        }
+        None => w.null(),
+    }
+}
+
+/// A minimal pretty-printing JSON writer: objects of keyed values,
+/// arrays of objects, strings, finite numbers, booleans, null.
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// Whether the current container already holds a value (so the next
+    /// entry needs a comma).
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            out: String::with_capacity(4096),
+            indent: 0,
+            needs_comma: Vec::new(),
+        }
+    }
+
+    fn newline(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+            self.newline();
+        }
+    }
+
+    /// Starts an object (as a value if inside an array or after `key`).
+    fn open(&mut self) {
+        self.out.push('{');
+        self.indent += 1;
+        self.needs_comma.push(false);
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.needs_comma.pop();
+        self.newline();
+        self.out.push('}');
+    }
+
+    fn open_array(&mut self) {
+        self.out.push('[');
+        self.indent += 1;
+        self.needs_comma.push(false);
+    }
+
+    fn close_array(&mut self) {
+        let had_items = self.needs_comma.pop() == Some(true);
+        self.indent -= 1;
+        if had_items {
+            self.newline();
+        }
+        self.out.push(']');
+    }
+
+    /// Positions for the next array element.
+    fn array_item(&mut self) {
+        self.pre_value();
+    }
+
+    /// Writes `"key": ` and leaves the value to the caller.
+    fn key(&mut self, key: &str) {
+        self.pre_value();
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\": ");
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push('"');
+        for ch in value.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\t' => self.out.push_str("\\t"),
+                '\r' => self.out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Writes a number; non-finite values become `null` (JSON has no
+    /// NaN/Infinity), integers render without a fraction.
+    fn num(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.push_num(value);
+    }
+
+    fn push_num(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.out.push_str("null");
+        } else if value == value.trunc() && value.abs() < 9e15 {
+            self.out.push_str(&format!("{}", value as i64));
+        } else {
+            self.out.push_str(&format!("{value:.4}"));
+        }
+    }
+
+    fn bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    fn null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> LatencySummary {
+        LatencySummary {
+            count: 10,
+            mean_ms: 1.5,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            p999_ms: 4.0,
+            max_ms: 5.0,
+        }
+    }
+
+    fn run(mode: &str) -> RunReport {
+        RunReport {
+            mode: mode.to_owned(),
+            offered_qps: 100.0,
+            achieved_qps: 99.5,
+            wall_s: 10.0,
+            measured_ops: 995,
+            errors: 1,
+            misses: 2,
+            fetch: summary(),
+            update: summary(),
+        }
+    }
+
+    fn report() -> BenchReport {
+        BenchReport {
+            schema: "cachecloud-loadgen/1".into(),
+            seed: 42,
+            nodes: 3,
+            workload: "zipf".into(),
+            theta: 0.9,
+            docs: 60,
+            offered_qps: 300.0,
+            schedule_ops: 1500,
+            schedule_digest: "00ff00ff00ff00ff".into(),
+            digest_verified: true,
+            populate: summary(),
+            populate_errors: 0,
+            open: run("open"),
+            closed: Some(run("closed")),
+            ramp: vec![RampPoint {
+                offered_qps: 200.0,
+                achieved_qps: 199.0,
+                p99_ms: 3.5,
+                errors: 0,
+            }],
+            cluster: ClusterReport {
+                requests: 1000,
+                local_hits: 600,
+                cloud_hits: 300,
+                origin_fetches: 100,
+                hit_ratio: 0.9,
+                rpc_retries: 0,
+                rpc_errors: 0,
+                rpc_timeouts: 0,
+                beacon_load_cov: 0.25,
+                per_node: vec![NodeBrief {
+                    node: 0,
+                    requests: 500,
+                    resident: 60,
+                    beacon_load: 12.5,
+                }],
+            },
+            pool: Some(PoolCounters {
+                opened: 3,
+                reused: 997,
+                discarded: 0,
+            }),
+            comparison: Some(Comparison {
+                pooled: run("open/pooled"),
+                unpooled: run("open/unpooled"),
+                pooled_pool: Some(PoolCounters {
+                    opened: 3,
+                    reused: 397,
+                    discarded: 0,
+                }),
+            }),
+        }
+    }
+
+    /// A tiny structural validator: balanced containers outside strings,
+    /// no trailing commas, every key quoted. Not a full parser, but it
+    /// catches the classes of bug a hand-rolled writer can introduce.
+    fn check_json(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut last_significant = ' ';
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(
+                        last_significant, ',',
+                        "trailing comma before container close"
+                    );
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced containers");
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                last_significant = c;
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced containers");
+    }
+
+    #[test]
+    fn report_renders_structurally_valid_json() {
+        let json = report().to_json();
+        check_json(&json);
+        for key in [
+            "\"schema\"",
+            "\"digest_verified\": true",
+            "\"open\"",
+            "\"closed\"",
+            "\"comparison\"",
+            "\"p999_ms\"",
+            "\"beacon_load_cov\"",
+            "\"pooled\"",
+            "\"unpooled\"",
+            "\"reused\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn optional_sections_render_as_null() {
+        let mut r = report();
+        r.closed = None;
+        r.pool = None;
+        r.comparison = None;
+        r.ramp.clear();
+        let json = r.to_json();
+        check_json(&json);
+        assert!(json.contains("\"closed\": null"));
+        assert!(json.contains("\"pool\": null"));
+        assert!(json.contains("\"comparison\": null"));
+        assert!(json.contains("\"ramp\": []"));
+    }
+
+    #[test]
+    fn numbers_render_json_safely() {
+        let mut w = JsonWriter::new();
+        w.open();
+        w.num("int", 42.0);
+        w.num("frac", 1.2345678);
+        w.num("nan", f64::NAN);
+        w.num("inf", f64::INFINITY);
+        w.close();
+        let out = w.finish();
+        check_json(&out);
+        assert!(out.contains("\"int\": 42"));
+        assert!(out.contains("\"frac\": 1.2346"));
+        assert!(out.contains("\"nan\": null"));
+        assert!(out.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn strings_escape_control_and_quote_characters() {
+        let mut w = JsonWriter::new();
+        w.open();
+        w.str("s", "a\"b\\c\nd\u{1}");
+        w.close();
+        let out = w.finish();
+        check_json(&out);
+        assert!(out.contains("a\\\"b\\\\c\\nd\\u0001"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Deterministic operation schedules derived from workload traces.
+//!
+//! A [`Schedule`] is the load generator's ground truth: every operation
+//! carries the microsecond offset at which it is *supposed* to leave, so
+//! the open-loop driver can measure latency from the intended send time
+//! (the coordinated-omission-free definition) rather than from whenever a
+//! slow previous request happened to finish. Schedules are pure functions
+//! of the workload builder's seed — [`Schedule::digest`] fingerprints the
+//! full operation stream so a run can assert that rebuilding with the
+//! same seed reproduces the same schedule byte for byte.
+
+use cachecloud_workload::{Trace, TraceEventKind};
+
+/// What one scheduled operation does on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A client fetch through a node's cooperative `Serve` path.
+    Fetch,
+    /// An origin-side update pushed through the document's beacon.
+    Update,
+    /// Initial publication of a document (populate phase only).
+    Publish,
+}
+
+impl OpKind {
+    /// Stable lowercase name, used as a JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Fetch => "fetch",
+            OpKind::Update => "update",
+            OpKind::Publish => "publish",
+        }
+    }
+}
+
+/// One timestamped operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Intended send time, microseconds after the measurement epoch.
+    pub at_us: u64,
+    /// What to do.
+    pub kind: OpKind,
+    /// Catalog index of the target document.
+    pub doc: u32,
+    /// Source cache of a request (mapped onto a node modulo cluster
+    /// size); unused for updates, which always go via the beacon.
+    pub cache: u32,
+}
+
+/// A time-ordered operation stream plus its offered rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    ops: Vec<Op>,
+    offered_qps: f64,
+}
+
+impl Schedule {
+    /// Builds a schedule from a trace, rescaled so the combined
+    /// request + update stream arrives at `offered_qps` operations per
+    /// second, truncated to at most `max_ops` operations.
+    ///
+    /// The trace's own timeline (simulated minutes) compresses or
+    /// stretches uniformly, so relative burstiness — flash crowds, update
+    /// storms — survives the rescale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offered_qps` is not finite and positive.
+    pub fn from_trace(trace: &Trace, offered_qps: f64, max_ops: usize) -> Schedule {
+        assert!(
+            offered_qps.is_finite() && offered_qps > 0.0,
+            "offered_qps must be positive"
+        );
+        let events = trace.events();
+        let native_span = trace.duration().as_secs_f64().max(1e-9);
+        let native_rate = events.len() as f64 / native_span;
+        let scale = native_rate / offered_qps;
+        let mut ops: Vec<Op> = events
+            .iter()
+            .take(max_ops)
+            .map(|event| {
+                let at_us = (event.at.as_micros() as f64 * scale).round() as u64;
+                match event.kind {
+                    TraceEventKind::Request { cache } => Op {
+                        at_us,
+                        kind: OpKind::Fetch,
+                        doc: event.doc,
+                        cache: cache.0 as u32,
+                    },
+                    TraceEventKind::Update => Op {
+                        at_us,
+                        kind: OpKind::Update,
+                        doc: event.doc,
+                        cache: 0,
+                    },
+                }
+            })
+            .collect();
+        // Traces are time-ordered already; rounding at microsecond
+        // granularity preserves that, but sort defensively so the driver
+        // may rely on monotone offsets.
+        ops.sort_by_key(|op| op.at_us);
+        Schedule { ops, offered_qps }
+    }
+
+    /// The operations, ordered by intended send time.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The offered (target) rate in operations per second.
+    pub fn offered_qps(&self) -> f64 {
+        self.offered_qps
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the schedule holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Intended wall-clock span of the schedule in seconds.
+    pub fn span_secs(&self) -> f64 {
+        self.ops.last().map_or(0.0, |op| op.at_us as f64 / 1e6)
+    }
+
+    /// FNV-1a fingerprint of the full operation stream. Two schedules
+    /// with equal digests replay the identical request sequence —
+    /// the determinism check a benchmark report carries.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for op in &self.ops {
+            eat(&op.at_us.to_le_bytes());
+            eat(&[match op.kind {
+                OpKind::Fetch => 0,
+                OpKind::Update => 1,
+                OpKind::Publish => 2,
+            }]);
+            eat(&op.doc.to_le_bytes());
+            eat(&op.cache.to_le_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecloud_workload::ZipfTraceBuilder;
+
+    fn trace(seed: u64) -> Trace {
+        ZipfTraceBuilder::new()
+            .documents(100)
+            .theta(0.9)
+            .caches(4)
+            .duration_minutes(5)
+            .requests_per_cache_per_minute(60.0)
+            .updates_per_minute(30.0)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_identical_schedule() {
+        let a = Schedule::from_trace(&trace(7), 500.0, 10_000);
+        let b = Schedule::from_trace(&trace(7), 500.0, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let c = Schedule::from_trace(&trace(8), 500.0, 10_000);
+        assert_ne!(a.digest(), c.digest(), "different seeds must differ");
+    }
+
+    #[test]
+    fn rescaling_hits_the_offered_rate() {
+        let s = Schedule::from_trace(&trace(3), 200.0, usize::MAX);
+        let achieved = s.len() as f64 / s.span_secs();
+        let err = (achieved - 200.0).abs() / 200.0;
+        assert!(err < 0.05, "offered 200 qps, schedule spans {achieved}");
+    }
+
+    #[test]
+    fn schedules_are_time_ordered_and_mixed() {
+        let s = Schedule::from_trace(&trace(5), 300.0, usize::MAX);
+        assert!(s.ops().windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert!(s.ops().iter().any(|op| op.kind == OpKind::Fetch));
+        assert!(s.ops().iter().any(|op| op.kind == OpKind::Update));
+        assert!(s.ops().iter().all(|op| op.doc < 100));
+    }
+
+    #[test]
+    fn truncation_caps_the_operation_count() {
+        let s = Schedule::from_trace(&trace(5), 300.0, 17);
+        assert_eq!(s.len(), 17);
+    }
+}

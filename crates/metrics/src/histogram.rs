@@ -189,4 +189,54 @@ mod tests {
     fn inverted_range_panics() {
         let _ = Histogram::new(1.0, 0.0, 3);
     }
+
+    #[test]
+    fn quantile_all_underflow_reports_lo() {
+        let mut h = Histogram::new(10.0, 20.0, 4);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(3.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 10.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_overflow_reports_hi() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(100.0);
+        h.record(200.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 10.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_samples() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        h.record(3.0);
+        h.record(97.0);
+        // q=0 selects rank 1 (the smallest sample's bucket midpoint).
+        assert_eq!(h.quantile(0.0), 3.5);
+        assert_eq!(h.quantile(1.0), 97.5);
+        // A single overflow sample pushes q=1 to hi but leaves q=0 alone.
+        h.record(1000.0);
+        assert_eq!(h.quantile(0.0), 3.5);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank_boundaries() {
+        // Four equal-count buckets: ranks 1..=4 at midpoints 12.5/37.5/62.5/87.5.
+        let mut h = Histogram::new(0.0, 100.0, 4);
+        for v in [10.0, 30.0, 60.0, 80.0] {
+            h.record(v);
+        }
+        // ceil(0.25 * 4) = 1 -> first bucket; ceil(0.26 * 4) = 2 -> second.
+        assert_eq!(h.quantile(0.25), 12.5);
+        assert_eq!(h.quantile(0.26), 37.5);
+        assert_eq!(h.quantile(0.5), 37.5);
+        assert_eq!(h.quantile(0.75), 62.5);
+        assert_eq!(h.quantile(1.0), 87.5);
+    }
 }

@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod loghist;
 pub mod report;
 pub mod stats;
 pub mod telemetry;
 pub mod timeseries;
 
 pub use histogram::Histogram;
+pub use loghist::LogHistogram;
 pub use stats::{LoadDistribution, Summary};
 pub use telemetry::{
     AtomicHistogram, Counter, Event, EventKind, EventLog, EventSink, Gauge, HistogramSnapshot,

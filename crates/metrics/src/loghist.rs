@@ -1,0 +1,303 @@
+//! Log-bucketed (geometric) histograms for latency capture.
+//!
+//! Uniform-width buckets ([`crate::Histogram`]) are a poor fit for request
+//! latencies, whose interesting structure spans four or five decades
+//! (tens of microseconds to tens of seconds under saturation). A
+//! [`LogHistogram`] keeps buckets of constant *relative* width instead:
+//! bucket `i` spans `[lo·g^i, lo·g^(i+1))` for a growth factor `g`, so a
+//! preset with 20 buckets per decade resolves every quantile to within
+//! ~12% of its true value regardless of magnitude — good enough for p99.9
+//! comparisons without per-sample storage.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachecloud_metrics::LogHistogram;
+//!
+//! let mut h = LogHistogram::latency_ms();
+//! for v in [0.2, 0.25, 0.3, 4.0, 120.0] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 5);
+//! let p50 = h.quantile(0.5);
+//! assert!(p50 > 0.2 && p50 < 0.4, "p50 was {p50}");
+//! assert_eq!(h.quantile(1.0), 120.0); // exact max at the extreme
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram whose buckets grow geometrically, giving constant relative
+/// error across many decades of magnitude.
+///
+/// Values below `lo` (including zero and negatives) land in an underflow
+/// bucket and quantile as `lo`; values at or above the upper bound land in
+/// an overflow bucket and quantile as the exact observed maximum. The
+/// exact minimum and maximum are tracked so the `q = 0` and `q = 1`
+/// extremes are precise rather than bucket-rounded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    growth: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[lo, hi)` with `per_decade` buckets
+    /// for every factor-of-ten of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `lo >= hi`, or `per_decade == 0`.
+    pub fn new(lo: f64, hi: f64, per_decade: u32) -> Self {
+        assert!(lo > 0.0, "lo must be positive for log bucketing");
+        assert!(lo < hi, "lo must be below hi");
+        assert!(per_decade > 0, "need at least one bucket per decade");
+        let decades = (hi / lo).log10();
+        let n = (decades * per_decade as f64).ceil().max(1.0) as usize;
+        LogHistogram {
+            lo,
+            growth: 10f64.powf(1.0 / per_decade as f64),
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Preset for request latencies in milliseconds: 1 µs to 60 s at 20
+    /// buckets per decade (~12% relative resolution, 156 buckets).
+    pub fn latency_ms() -> Self {
+        LogHistogram::new(1e-3, 60_000.0, 20)
+    }
+
+    /// Records a sample. Non-positive and sub-`lo` samples count as
+    /// underflow; they still contribute to `count` (but clamp to zero in
+    /// the running sum, matching [`crate::AtomicHistogram`]).
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v.max(0.0);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v / self.lo).ln() / self.growth.ln()) as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded samples, with negatives clamped to zero
+    /// (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Samples recorded below the bucketed range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples recorded at or above the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Nearest-rank quantile `q` in `[0, 1]`, interpolated to the
+    /// geometric midpoint of the selected bucket and clamped to the exact
+    /// observed `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        // The first and last ranks are the exact tracked extremes — no
+        // bucket rounding at q = 0 or q = 1.
+        if target == 1 {
+            return self.min;
+        }
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.min.max(0.0).min(self.lo);
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let mid = self.lo * self.growth.powf(i as f64 + 0.5);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different bounds or
+    /// resolutions.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.lo == other.lo
+                && self.growth == other.growth
+                && self.buckets.len() == other.buckets.len(),
+            "cannot merge log-histograms of different shapes"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_resolution_bounds_relative_error() {
+        // Three equal samples per magnitude: the median rank lands in the
+        // sample's bucket, so the geometric midpoint must be within the
+        // preset's ~12% relative resolution.
+        for v in [0.013, 0.4, 7.0, 95.0, 2_300.0] {
+            let mut h = LogHistogram::latency_ms();
+            h.record(v);
+            h.record(v);
+            h.record(v);
+            let q = h.quantile(0.5);
+            assert!(
+                (q - v).abs() / v < 0.13,
+                "median {q} too far from triple sample {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = LogHistogram::latency_ms();
+        for v in [0.21, 3.0, 3.1, 3.2, 44.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.21);
+        assert_eq!(h.quantile(1.0), 44.0);
+        assert_eq!(h.min(), 0.21);
+        assert_eq!(h.max(), 44.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let h = LogHistogram::latency_ms();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+
+        // All-underflow: zero/negative samples quantile at or below lo.
+        let mut u = LogHistogram::new(1.0, 100.0, 10);
+        u.record(0.0);
+        u.record(-5.0);
+        assert_eq!(u.underflow(), 2);
+        assert!(u.quantile(0.99) <= 1.0);
+        assert_eq!(u.mean(), 0.0); // negatives clamp to zero in the sum
+
+        // All-overflow: the extremes stay exact (rank 1 = smallest
+        // sample, rank N = largest), with no bucket to round through.
+        let mut o = LogHistogram::new(1.0, 10.0, 4);
+        o.record(50.0);
+        o.record(70.0);
+        assert_eq!(o.overflow(), 2);
+        assert_eq!(o.quantile(0.5), 50.0);
+        assert_eq!(o.quantile(1.0), 70.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_across_decades() {
+        let mut h = LogHistogram::latency_ms();
+        for i in 1..=1000 {
+            h.record(i as f64 * 0.05); // 0.05 ms .. 50 ms
+        }
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 25.0).abs() / 25.0 < 0.13, "p50 was {p50}");
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LogHistogram::latency_ms();
+        let mut b = LogHistogram::latency_ms();
+        a.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 100.0);
+        assert!(a.quantile(1.0) == 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = LogHistogram::new(1.0, 10.0, 4);
+        let b = LogHistogram::new(1.0, 100.0, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be positive")]
+    fn zero_lo_panics() {
+        let _ = LogHistogram::new(0.0, 1.0, 4);
+    }
+}

@@ -366,6 +366,12 @@ impl HistogramSnapshot {
         if seen >= target {
             return self.lo;
         }
+        // A snapshot decoded off the wire may carry zero buckets; every
+        // in-range rank then resolves to the upper bound rather than
+        // dividing by zero below.
+        if self.buckets.is_empty() {
+            return self.hi;
+        }
         let w = (self.hi - self.lo) / self.buckets.len() as f64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b;
@@ -831,6 +837,50 @@ mod tests {
         for q in [0.25, 0.5, 0.9] {
             assert_eq!(snap.quantile(q), plain.quantile(q));
         }
+    }
+
+    #[test]
+    fn snapshot_quantile_edge_cases_match_plain_histogram() {
+        // Empty: both report 0.
+        let empty = AtomicHistogram::new(0.0, 10.0, 4).snapshot();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(crate::Histogram::new(0.0, 10.0, 4).quantile(0.5), 0.0);
+
+        // All-underflow: every quantile is lo.
+        let h = AtomicHistogram::new(10.0, 20.0, 4);
+        h.record(-1.0);
+        h.record(3.0);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.quantile(q), 10.0, "q={q}");
+        }
+
+        // All-overflow: every quantile is hi.
+        let h = AtomicHistogram::new(0.0, 10.0, 4);
+        h.record(11.0);
+        h.record(500.0);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.quantile(q), 10.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_quantile_survives_empty_bucket_vector() {
+        // A shape that can only arrive via wire decoding, never from
+        // AtomicHistogram::new (which requires n > 0).
+        let snap = HistogramSnapshot {
+            lo: 0.0,
+            hi: 10.0,
+            buckets: vec![],
+            underflow: 1,
+            overflow: 2,
+            count: 3,
+            sum: 25.0,
+        };
+        assert_eq!(snap.quantile(0.1), 0.0); // rank 1 lands in underflow
+        assert_eq!(snap.quantile(0.9), 10.0); // in-range ranks resolve to hi
+        assert!(snap.quantile(0.9).is_finite());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! Spawns six cache nodes, publishes a set of documents, pulls them through
 //! non-beacon nodes (cooperative miss handling), pushes an origin-side
 //! update through the beacon (fan-out to all holders), and prints per-node
-//! statistics.
+//! statistics plus a latency/throughput summary of the read phase. All
+//! traffic rides the client's pooled persistent connections (the default);
+//! the pool's reuse counters are printed at the end.
+
+use std::time::Instant;
 
 use cache_clouds_repro::cluster::LocalCluster;
 use cache_clouds_repro::metrics::report::Table;
+use cachecloud_loadgen::{LatencySummary, OpKind, Recorder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nodes = 6usize;
@@ -34,15 +39,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cooperative reads: fetch every document via every node. First fetch
     // per (node, doc) misses locally, consults the beacon, pulls from a
-    // peer holder and caches the copy; repeats are local hits.
+    // peer holder and caches the copy; repeats are local hits. Capture
+    // per-fetch latency into a log-bucketed histogram as we go.
+    let mut rec = Recorder::new();
+    let t0 = Instant::now();
     for round in 0..2 {
         for url in &urls {
             for node in 0..nodes as u32 {
+                let sent = Instant::now();
                 let got = client.fetch_via(node, url)?;
+                rec.record_ok(OpKind::Fetch, sent.elapsed().as_secs_f64() * 1e3);
                 assert!(got.is_some(), "round {round}: {url} unavailable at {node}");
             }
         }
     }
+    let read_wall = t0.elapsed().as_secs_f64();
+    let lat = LatencySummary::of(rec.histogram(OpKind::Fetch));
+    println!(
+        "read phase: {} fetches in {:.2} s ({:.0} req/s) — \
+         p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        lat.count,
+        read_wall,
+        lat.count as f64 / read_wall,
+        lat.p50_ms,
+        lat.p95_ms,
+        lat.p99_ms,
+        lat.max_ms
+    );
 
     // Origin-side update of one hot scoreboard: one message to the beacon,
     // which fans out to all holders.
@@ -98,6 +121,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("all documents still served after the live range migration\n");
+
+    if let Some(pool) = client.pool_stats() {
+        println!(
+            "connection pool: {} opened, {} reused, {} discarded \
+             ({:.1} exchanges per TCP connect)",
+            pool.opened,
+            pool.reused,
+            pool.discarded,
+            (pool.opened + pool.reused) as f64 / pool.opened.max(1) as f64
+        );
+    }
 
     cluster.shutdown();
     println!("cluster shut down cleanly");
