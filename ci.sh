@@ -23,12 +23,17 @@ echo "==> chaos suite (pinned seeds, bounded)"
 CHAOS_SEEDS="11,23" timeout 300 \
   cargo test -q -p cachecloud-cluster --test chaos
 
-echo "==> smoke bench (pinned seed, bounded)"
+echo "==> smoke bench (pinned seed, bounded, throughput-gated)"
 # A small live benchmark against a loopback cluster: exits non-zero
 # unless traffic flowed, the deterministic schedule digest reproduced,
-# and the error rate stayed within bounds. Writes BENCH_cluster.json
-# (archived as an artifact by the workflow).
+# the error rate stayed within bounds, the bounded pass evicted, AND
+# throughput cleared the floors below. The floors are deliberately far
+# under the dev-box numbers (~50k one-in-flight, ~94k pipelined on a
+# single core) so only a real serving regression trips them, not a
+# noisy shared runner. Writes BENCH_cluster.json (archived as an
+# artifact by the workflow).
 timeout 300 cargo run --release -q -p cachecloud-loadgen --bin loadgen -- \
-  --smoke --out BENCH_cluster.json
+  --smoke --min-closed-qps 10000 --min-pipelined-qps 40000 \
+  --out BENCH_cluster.json
 
 echo "CI green."

@@ -249,6 +249,95 @@ mod tests {
     }
 
     #[test]
+    fn ping_and_stats_expose_accept_errors_counter() -> Result<(), CacheCloudError> {
+        // The accept-error counter must travel the Stats wire like every
+        // other lifecycle counter (zero on a healthy node).
+        let cluster = LocalCluster::spawn(1)?;
+        let client = cluster.client();
+        client.ping(0)?;
+        let stats = client.stats(0)?;
+        assert!(
+            stats
+                .counters
+                .iter()
+                .any(|(name, v)| name == "accept_errors" && *v == 0),
+            "accept_errors missing from the stats wire: {:?}",
+            stats.counters
+        );
+        cluster.shutdown();
+        Ok(())
+    }
+
+    #[test]
+    fn shutdown_mid_request_loses_no_started_response() -> Result<(), CacheCloudError> {
+        // Regression for the connection-thread leak: the old server joined
+        // only the accept thread, so in-flight serving threads raced node
+        // teardown. Hammer a cloud with cooperative fetches from several
+        // clients while it shuts down: every call must either return the
+        // correct document or fail with a clean transport error — never a
+        // wrong body, a protocol error, or a panic — and shutdown() must
+        // return promptly with all serving threads joined.
+        let cluster = LocalCluster::spawn(4)?;
+        let client = cluster.client();
+        client.publish("/steady", b"payload".to_vec(), 3)?;
+        // Warm a copy everywhere so fetches exercise both the inline hit
+        // path and the dispatched miss path across nodes.
+        for node in 0..4 {
+            client.fetch_via(node, "/steady")?.expect("served");
+        }
+        let peers = cluster.peers().to_vec();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = (0..4u32)
+            .map(|w| {
+                let peers = peers.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || -> Result<u64, String> {
+                    let client = CloudClient::new(peers).map_err(|e| e.to_string())?;
+                    let mut ok = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        match client.fetch_via(w % 4, "/steady") {
+                            Ok(Some((body, version))) => {
+                                if body != b"payload" || version != 3 {
+                                    return Err(format!(
+                                        "corrupt response: v{version}, {} bytes",
+                                        body.len()
+                                    ));
+                                }
+                                ok += 1;
+                            }
+                            Ok(None) => return Err("document vanished".into()),
+                            // Shutdown raced the call: a typed transport
+                            // error is the one acceptable failure.
+                            Err(e) if e.is_transport() => break,
+                            Err(e) => return Err(format!("unexpected error: {e:?}")),
+                        }
+                    }
+                    Ok(ok)
+                })
+            })
+            .collect();
+        // Let the fetch storm build, then tear the cloud down under it.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        cluster.shutdown();
+        let drain = t0.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            drain < std::time::Duration::from_secs(10),
+            "shutdown hung draining connections: {drain:?}"
+        );
+        let mut total = 0;
+        for w in workers {
+            total += w
+                .join()
+                .expect("worker panicked")
+                .expect("corrupt exchange");
+        }
+        assert!(total > 0, "the storm never got a response");
+        Ok(())
+    }
+
+    #[test]
     fn refused_connections_surface_typed_errors() -> Result<(), CacheCloudError> {
         // Reserve addresses nobody listens on: bind ephemeral ports, note
         // them, drop the listeners.

@@ -1,11 +1,22 @@
 //! Persistent framed connections and a per-peer connection pool.
 //!
 //! The wire protocol is strictly alternating request/response over one
-//! stream, and [`crate::node`]'s `serve_connection` already loops frames
-//! until EOF — so a single [`Connection`] can carry arbitrarily many
-//! exchanges. [`ConnectionPool`] keeps a small idle list per peer and is
-//! what [`crate::CloudClient`] and node peer/beacon RPCs ride on instead of
-//! paying a fresh `TcpStream::connect` per RPC.
+//! stream, and the server reactor keeps each accepted connection open
+//! across frames until EOF — so a single [`Connection`] can carry
+//! arbitrarily many exchanges. [`ConnectionPool`] keeps a small idle list
+//! per peer and is what [`crate::CloudClient`] and node peer/beacon RPCs
+//! ride on instead of paying a fresh `TcpStream::connect` per RPC.
+//!
+//! ## Hot-path economics
+//!
+//! A pooled exchange costs exactly one `write` and (usually) one `read`
+//! syscall: the request is framed into a reusable buffer held by the
+//! connection (no per-RPC allocation), and responses are pulled through a
+//! [`FrameDecoder`] that keeps its scratch buffer across calls. Socket
+//! timeouts are quantized to [`TIMEOUT_STEP`] and cached, so the pair of
+//! `setsockopt` calls that used to precede every RPC only happens when the
+//! deadline bucket actually changes — on a steady workload that is almost
+//! never.
 //!
 //! ## Pool semantics under [`crate::RetryPolicy`]
 //!
@@ -19,7 +30,7 @@
 //! extra coordination.
 
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -27,19 +38,39 @@ use std::time::Duration;
 use cachecloud_types::CacheCloudError;
 use parking_lot::Mutex;
 
-use crate::wire::{read_frame, write_frame, Request, Response};
+use crate::wire::{frame_request, FrameDecoder, Request, Response};
 
 /// Idle connections kept per peer (beyond this, finished connections are
 /// closed instead of pooled).
 const DEFAULT_MAX_IDLE_PER_PEER: usize = 8;
+
+/// Socket timeouts are rounded **up** to a multiple of this before being
+/// applied, so retry-budget deadlines that shrink by a few hundred
+/// microseconds per attempt land in the same bucket and skip the
+/// `setsockopt` pair entirely. Rounding up can only lengthen a deadline by
+/// under one step, which delays error *detection* slightly but never cuts
+/// a caller's budget short.
+const TIMEOUT_STEP: Duration = Duration::from_millis(5);
+
+fn quantize_timeout(t: Duration) -> Duration {
+    let step = TIMEOUT_STEP.as_micros() as u64;
+    let steps = (t.as_micros() as u64).div_ceil(step).max(1);
+    Duration::from_micros(steps * step)
+}
 
 /// One persistent framed connection to a peer, usable for many sequential
 /// request/response exchanges.
 #[derive(Debug)]
 pub struct Connection {
     peer: SocketAddr,
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    /// Reusable request scratch: cleared and re-framed each exchange.
+    wbuf: Vec<u8>,
+    /// Response reassembly; its buffer also persists across exchanges.
+    decoder: FrameDecoder,
+    /// The timeout currently applied to the socket (`None` = blocking,
+    /// which is the state of a freshly connected stream).
+    applied_timeout: Option<Duration>,
 }
 
 impl Connection {
@@ -58,13 +89,12 @@ impl Connection {
         }
         .map_err(|e| peer_err(peer, &CacheCloudError::from(e)))?;
         let _ = stream.set_nodelay(true);
-        let writer = stream
-            .try_clone()
-            .map_err(|e| peer_err(peer, &CacheCloudError::from(e)))?;
         Ok(Connection {
             peer,
-            writer,
-            reader: BufReader::new(stream),
+            stream,
+            wbuf: Vec::new(),
+            decoder: FrameDecoder::new(),
+            applied_timeout: None,
         })
     }
 
@@ -74,8 +104,10 @@ impl Connection {
     }
 
     /// One request/response exchange. With a timeout, both the write and
-    /// the read are bounded by it (clamped to at least 1 ms); without one,
-    /// the exchange blocks indefinitely.
+    /// the read are bounded by it (rounded up to the next
+    /// [`TIMEOUT_STEP`], minimum one step — a zero timeout would mean
+    /// "block forever" to the socket API); without one, the exchange
+    /// blocks indefinitely.
     ///
     /// After any error the connection must be considered poisoned and
     /// dropped: a timed-out read may leave half a frame in the stream.
@@ -100,16 +132,29 @@ impl Connection {
         req: &Request,
         timeout: Option<Duration>,
     ) -> Result<Response, CacheCloudError> {
-        let t = timeout.map(|t| t.max(Duration::from_millis(1)));
-        let stream = self.reader.get_ref();
-        stream.set_read_timeout(t)?;
-        stream.set_write_timeout(t)?;
-        write_frame(&mut self.writer, &req.encode())?;
-        match read_frame(&mut self.reader)? {
-            Some(frame) => Response::decode(frame),
-            None => Err(CacheCloudError::Protocol(
-                "connection closed before response".into(),
-            )),
+        let t = timeout.map(quantize_timeout);
+        if t != self.applied_timeout {
+            self.stream.set_read_timeout(t)?;
+            self.stream.set_write_timeout(t)?;
+            self.applied_timeout = t;
+        }
+        self.wbuf.clear();
+        frame_request(&mut self.wbuf, req)?;
+        // One write for prefix + body (see `write_frame` for why splitting
+        // them costs ~40 ms under Nagle), but framed into a buffer this
+        // connection keeps, so steady-state exchanges allocate nothing.
+        (&self.stream).write_all(&self.wbuf)?;
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Response::decode(frame);
+            }
+            if self.decoder.read_from(&mut &self.stream)? == 0 {
+                return Err(CacheCloudError::Protocol(if self.decoder.is_mid_frame() {
+                    "connection closed mid-response".into()
+                } else {
+                    "connection closed before response".into()
+                }));
+            }
         }
     }
 }
@@ -240,7 +285,28 @@ mod tests {
     use super::*;
     use crate::cluster::LocalCluster;
     use crate::retry::RetryPolicy;
+    use crate::wire::{read_frame, write_frame};
+    use std::io::BufReader;
     use std::net::TcpListener;
+
+    #[test]
+    fn timeouts_quantize_up_to_a_step_boundary() {
+        let q = quantize_timeout;
+        assert_eq!(q(TIMEOUT_STEP), TIMEOUT_STEP);
+        assert_eq!(q(Duration::from_micros(1)), TIMEOUT_STEP);
+        assert_eq!(
+            q(Duration::ZERO),
+            TIMEOUT_STEP,
+            "zero must not mean forever"
+        );
+        assert_eq!(q(Duration::from_millis(7)), Duration::from_millis(10));
+        // Retry budgets that shave fractions of a millisecond per attempt
+        // stay in one bucket, so the socket options are left untouched.
+        assert_eq!(
+            q(Duration::from_micros(299_400)),
+            q(Duration::from_micros(296_100))
+        );
+    }
 
     #[test]
     fn one_connection_carries_many_exchanges() {

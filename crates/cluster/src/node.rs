@@ -10,11 +10,10 @@
 //! longer owns to their new beacon points (`Adopt`).
 
 use std::collections::{HashMap, HashSet};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -26,9 +25,10 @@ use cachecloud_types::{ByteSize, CacheCloudError, DocId, SimTime, Version};
 use parking_lot::{Mutex, RwLock};
 
 use crate::conn::{Connection, ConnectionPool};
+use crate::reactor::{Inline, Lane, Server, ServerOptions, Service};
 use crate::retry::RetryPolicy;
 use crate::route::RouteTable;
-use crate::wire::{read_frame, write_frame, Request, Response};
+use crate::wire::{Request, Response};
 
 /// Configuration of one node.
 #[derive(Debug, Clone)]
@@ -51,6 +51,9 @@ pub struct NodeConfig {
     /// (`false` falls back to one TCP connect per RPC, for comparison
     /// benchmarks).
     pub pooled: bool,
+    /// Reactor shard (event-loop thread) count; `0` picks one per
+    /// available core, capped at 4.
+    pub shards: usize,
 }
 
 impl NodeConfig {
@@ -70,6 +73,7 @@ impl NodeConfig {
             irh_gen: 1024,
             retry: RetryPolicy::default(),
             pooled: true,
+            shards: 0,
         }
     }
 }
@@ -117,6 +121,7 @@ struct NodeTelemetry {
     rpc_timeouts: Counter,
     origin_fallbacks: Counter,
     beacon_failovers: Counter,
+    accept_errors: Counter,
     /// Outgoing peer-RPC latency in milliseconds.
     rpc_ms: Arc<AtomicHistogram>,
     /// End-to-end `Serve` handling latency in milliseconds.
@@ -152,6 +157,7 @@ impl NodeTelemetry {
             rpc_timeouts: c(EventKind::RpcTimeout),
             origin_fallbacks: c(EventKind::OriginFallback),
             beacon_failovers: c(EventKind::BeaconFailover),
+            accept_errors: c(EventKind::AcceptError),
             rpc_ms: registry.histogram("rpc_ms", 0.0, 250.0, 50),
             serve_ms: registry.histogram("serve_ms", 0.0, 250.0, 50),
             epoch: Instant::now(),
@@ -240,12 +246,18 @@ impl State {
 /// its peers: `Serve` walks the full local-store → beacon → peer-holder
 /// path, `Update` fans a new version out to every registered holder, and
 /// `SetRanges` migrates beacon responsibilities live.
+///
+/// The server is a sharded reactor (see [`crate::reactor`]): event-loop
+/// shards own nonblocking connections and answer RPC-free requests
+/// inline; requests that may block on peer RPCs run on a small worker
+/// pool. [`CacheNode::shutdown`] drains in-flight requests and joins
+/// every serving thread.
 #[derive(Debug)]
 pub struct CacheNode {
     config: NodeConfig,
     addr: SocketAddr,
     state: Arc<State>,
-    accept_thread: Option<JoinHandle<()>>,
+    server: Option<Server>,
 }
 
 impl CacheNode {
@@ -298,17 +310,19 @@ impl CacheNode {
             pool: config.pooled.then(ConnectionPool::new),
             shutdown: AtomicBool::new(false),
         });
-        let thread_state = Arc::clone(&state);
-        let thread_config = config.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("ccnode-{}", config.id))
-            .spawn(move || accept_loop(listener, thread_state, thread_config))
+        let service = Arc::new(NodeService {
+            state: Arc::clone(&state),
+            config: config.clone(),
+        });
+        let mut opts = ServerOptions::named(format!("ccnode-{}", config.id));
+        opts.shards = config.shards;
+        let server = Server::start(listener, service, opts)
             .map_err(|e| CacheCloudError::Io(e.to_string()))?;
         Ok(CacheNode {
             config,
             addr,
             state,
-            accept_thread: Some(accept_thread),
+            server: Some(server),
         })
     }
 
@@ -322,13 +336,13 @@ impl CacheNode {
         self.addr
     }
 
-    /// Signals shutdown and joins the accept thread.
+    /// Stops accepting, drains in-flight requests (their responses are
+    /// still delivered), and joins every shard and worker thread — no
+    /// serving thread outlives this call.
     pub fn shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Poke the listener so `accept` returns.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(mut server) = self.server.take() {
+            server.shutdown();
         }
     }
 }
@@ -336,53 +350,89 @@ impl CacheNode {
 impl Drop for CacheNode {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(mut server) = self.server.take() {
+            server.shutdown();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<State>, config: NodeConfig) {
-    for stream in listener.incoming() {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // Responses must not sit in Nagle's buffer waiting for a delayed
-        // ACK: connections are long-lived under pooling, and every
-        // stalled response would add ~40 ms to a pooled exchange.
-        let _ = stream.set_nodelay(true);
-        let state = Arc::clone(&state);
-        let config = config.clone();
-        let _ = std::thread::Builder::new()
-            .name(format!("ccnode-{}-conn", config.id))
-            .spawn(move || {
-                let _ = serve_connection(stream, &state, &config);
-            });
-    }
+/// The [`Service`] the reactor runs: classification plus the dispatch
+/// into [`handle`].
+///
+/// Fast requests — everything that never issues a peer RPC (directory
+/// traffic, local gets, stats, table reads, adoption) — run inline on
+/// the shard. `Serve` gets a shard-side local-hit fast path (under a
+/// warm cache that is the dominant exchange, and it skips the dispatch
+/// round-trip entirely); misses and all mutating fan-out requests go to
+/// the worker lanes: `Put` on the `Store` lane (it only ever waits on
+/// fast beacon registrations), everything else on the `Serve` lane.
+struct NodeService {
+    state: Arc<State>,
+    config: NodeConfig,
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    state: &State,
-    config: &NodeConfig,
-) -> Result<(), CacheCloudError> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    while let Some(frame) = read_frame(&mut reader)? {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
+impl Service for NodeService {
+    fn inline(&self, req: Request) -> Inline {
+        match req {
+            Request::Serve { url } => {
+                // Shard-side fast path for local hits, with the exact
+                // accounting of the `serve_cooperative` hit path. On a
+                // miss nothing is counted here — the worker's
+                // `serve_cooperative` owns the full request accounting,
+                // so `requests` is still incremented exactly once.
+                let t0 = Instant::now();
+                let hit = {
+                    let bodies = self.state.bodies.lock();
+                    bodies.get(&url).map(|b| (b.version, b.data.clone()))
+                };
+                match hit {
+                    Some((version, body)) => {
+                        let tel = &self.state.telemetry;
+                        tel.requests.inc();
+                        tel.emit(self.config.id, EventKind::Request, Some(&url));
+                        tel.local_hits.inc();
+                        tel.emit(self.config.id, EventKind::LocalHit, Some(&url));
+                        tel.serve_ms.record(t0.elapsed().as_secs_f64() * 1e3);
+                        Inline::Done(Response::Document { version, body })
+                    }
+                    None => Inline::Dispatch(Lane::Serve, Request::Serve { url }),
+                }
+            }
+            Request::Put { url, version, body } => {
+                // A Put that provably issues no peer RPC runs inline: with
+                // an unbounded store nothing can evict (no Unregister),
+                // and either we already hold the document (already
+                // registered — update fan-out is exactly this shape) or
+                // we are its beacon (registration is a local call). The
+                // dispatch round-trip is only paid when a store RPC could
+                // actually block the shard.
+                let rpc_free = self.config.capacity == ByteSize::UNLIMITED
+                    && (self.state.bodies.lock().contains_key(&url)
+                        || self.state.beacon_of(&url) == self.config.id);
+                let req = Request::Put { url, version, body };
+                if rpc_free {
+                    Inline::Done(handle(req, &self.state, &self.config))
+                } else {
+                    Inline::Dispatch(Lane::Store, req)
+                }
+            }
+            Request::Update { .. } | Request::SetRanges { .. } => {
+                Inline::Dispatch(Lane::Serve, req)
+            }
+            fast => Inline::Done(handle(fast, &self.state, &self.config)),
         }
-        let response = match Request::decode(frame) {
-            Ok(req) => handle(req, state, config),
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
-        };
-        write_frame(&mut writer, &response.encode())?;
     }
-    Ok(())
+
+    fn call(&self, req: Request) -> Response {
+        handle(req, &self.state, &self.config)
+    }
+
+    fn accept_error(&self, _err: &io::Error) {
+        self.state.telemetry.accept_errors.inc();
+        self.state
+            .telemetry
+            .emit(self.config.id, EventKind::AcceptError, None);
+    }
 }
 
 fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
@@ -603,19 +653,21 @@ fn put_local(
             }
         }
     };
-    {
+    let already_held = {
         let mut bodies = state.bodies.lock();
         for victim in &evicted {
             bodies.remove(victim.url());
         }
-        bodies.insert(
-            url.clone(),
-            Body {
-                version,
-                data: body,
-            },
-        );
-    }
+        bodies
+            .insert(
+                url.clone(),
+                Body {
+                    version,
+                    data: body,
+                },
+            )
+            .is_some()
+    };
     state.telemetry.stores.inc();
     state
         .telemetry
@@ -637,7 +689,13 @@ fn put_local(
             let _ = state.rpc(*addr, &req);
         }
     }
-    // Register this copy at the document's beacon.
+    // Register this copy at the document's beacon — unless we were already
+    // a holder. Update delivery overwrites an existing, registered copy
+    // (the beacon fanned the update out *because* its record lists us), so
+    // re-registering would be a pure-overhead RPC on every update.
+    if already_held {
+        return Response::Ok;
+    }
     let b = state.beacon_of(&url);
     let reg = Request::Register {
         url,

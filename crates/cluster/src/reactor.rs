@@ -1,0 +1,1047 @@
+//! The sharded-reactor serving loop.
+//!
+//! Connection lifecycle used to live on a thread stack: one blocking
+//! thread per socket, torn down whenever `read_frame` returned. That
+//! model leaked serving threads on shutdown (only the accept thread was
+//! joined), spent a kernel thread per idle pooled connection, and capped
+//! the closed-loop exchange rate on context switches. Here the lifecycle
+//! is explicit state instead:
+//!
+//! * **Shards.** N event-loop threads, each with its own [`Poller`]
+//!   (level-triggered epoll) and an owned set of nonblocking
+//!   connections. The listener lives on shard 0; accepted sockets are
+//!   handed out round-robin. Shards never block on anything but
+//!   `epoll_wait` — a cross-thread [`Mailbox`] plus waker delivers new
+//!   connections and completed responses.
+//! * **Connections.** Each [`Conn`] owns a resumable [`FrameDecoder`]
+//!   (reads may deliver half a length prefix or ten pipelined frames)
+//!   and an outgoing byte buffer flushed as far as the socket allows,
+//!   with `EPOLLOUT` interest registered only while bytes remain.
+//! * **Fast/slow split.** The [`Service`] classifies each decoded
+//!   request: fast requests (directory lookups, local gets, stats —
+//!   anything that never issues a peer RPC) are handled inline on the
+//!   shard; slow requests (cooperative serves, puts, update fan-out)
+//!   are dispatched to a small worker pool so a blocking peer RPC can
+//!   never stall every connection on a shard. Two lanes keep the pool
+//!   deadlock-free: `Store` jobs (puts) only ever wait on fast remote
+//!   operations, and `Serve` jobs wait on fast operations or `Store`
+//!   jobs — the dependency graph is acyclic, so a bounded pool always
+//!   makes progress.
+//! * **Ordering.** One dispatched request may be outstanding per
+//!   connection (`busy`); further frames wait in the decoder. Because
+//!   epoll is level-triggered on the *socket*, bytes already sitting in
+//!   the decoder produce no event — the completion path re-drains the
+//!   decoder explicitly before re-arming read interest.
+//! * **Shutdown.** `shutdown` stops the listener, closes idle
+//!   connections immediately, lets busy connections finish their
+//!   in-flight request and flush the response, and only then joins the
+//!   shard and worker threads — nothing outlives the node, and no
+//!   started request loses its response.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::poller::{drain_waker, waker_pair, Interest, PollEvent, PollableFd, Poller, Waker};
+use crate::wire::{frame_response, FrameDecoder, Request, Response};
+
+/// Which worker lane a dispatched request runs on. `Store` jobs must
+/// never wait on another slow request; `Serve` jobs may wait on `Store`
+/// jobs. Keeping the lanes separate is what makes the bounded pool
+/// deadlock-free under cross-node fan-out (an `Update` on node A blocks
+/// on `Put`s at node B; those `Put`s always find a free `Store` worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lane {
+    /// Cooperative serves, update fan-out, range migration.
+    Serve,
+    /// Document stores.
+    Store,
+}
+
+/// The shard's verdict on one decoded request.
+pub(crate) enum Inline {
+    /// Handled on the shard; the response goes straight to the write
+    /// buffer.
+    Done(Response),
+    /// Needs a worker: the request may block on peer RPCs.
+    Dispatch(Lane, Request),
+}
+
+/// What the reactor serves. Implemented by the cache node; kept as a
+/// trait so the reactor's connection machinery is testable in isolation.
+pub(crate) trait Service: Send + Sync + 'static {
+    /// Classifies and, for fast requests, handles `req` on the shard
+    /// thread. Must not block on I/O in the `Inline::Done` path.
+    fn inline(&self, req: Request) -> Inline;
+
+    /// Handles a dispatched request on a worker thread. May block on
+    /// peer RPCs.
+    fn call(&self, req: Request) -> Response;
+
+    /// Observes a failed `accept` (telemetry).
+    fn accept_error(&self, err: &io::Error) {
+        let _ = err;
+    }
+}
+
+/// Sizing knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub(crate) struct ServerOptions {
+    /// Event-loop shard count (0 = one per available core, capped at 4).
+    pub shards: usize,
+    /// `Serve`-lane worker threads.
+    pub serve_workers: usize,
+    /// `Store`-lane worker threads.
+    pub store_workers: usize,
+    /// Thread-name prefix, e.g. `ccnode-3`.
+    pub name: String,
+}
+
+impl ServerOptions {
+    pub(crate) fn named(name: String) -> Self {
+        ServerOptions {
+            shards: 0,
+            serve_workers: 4,
+            store_workers: 2,
+            name,
+        }
+    }
+
+    fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(4)
+    }
+}
+
+const TOK_LISTENER: u64 = 0;
+const TOK_WAKER: u64 = 1;
+const TOK_FIRST_CONN: u64 = 2;
+
+/// How long a shard keeps waiting for busy connections to finish their
+/// in-flight request during shutdown. In practice drains complete in
+/// one RPC deadline (~hundreds of ms); this only bounds a pathological
+/// worker stall.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Pause after fd exhaustion before accepting again. Spinning on a
+/// level-triggered readable listener that cannot accept would peg the
+/// shard; a short pause lets connections (and fds) drain.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Per-connection write-buffer high-water mark: while the buffer holds
+/// more than this, the shard stops decoding further pipelined frames
+/// for the connection until the socket drains (backpressure).
+const MAX_PENDING_OUT: usize = 1 << 20;
+
+/// One slow request in flight to the worker pool.
+struct Job {
+    shard: usize,
+    token: u64,
+    req: Request,
+}
+
+/// A two-state blocking queue feeding one worker lane.
+struct JobQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; `false` once the queue is closed.
+    fn push(&self, job: Job) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.1 {
+            return false;
+        }
+        g.0.push_back(job);
+        drop(g);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once closed **and** empty, so
+    /// already-queued work is always finished before workers exit.
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = g.0.pop_front() {
+                return Some(job);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Cross-thread deliveries into one shard: freshly accepted sockets
+/// (from shard 0) and completed responses (from workers). Push, then
+/// wake.
+struct Mailbox {
+    waker: Waker,
+    inbox: Mutex<MailboxInner>,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    conns: Vec<TcpStream>,
+    done: Vec<(u64, Response)>,
+}
+
+impl Mailbox {
+    fn push_conn(&self, stream: TcpStream) {
+        self.inbox.lock().unwrap().conns.push(stream);
+        self.waker.wake();
+    }
+
+    fn push_done(&self, token: u64, resp: Response) {
+        self.inbox.lock().unwrap().done.push((token, resp));
+        self.waker.wake();
+    }
+
+    fn take(&self) -> MailboxInner {
+        std::mem::take(&mut *self.inbox.lock().unwrap())
+    }
+}
+
+/// One nonblocking connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Pending outgoing bytes; `[out_pos..]` is still unwritten.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A dispatched request is in flight on a worker; reads are paused
+    /// and further decoded frames wait in the decoder.
+    busy: bool,
+    /// The peer half-closed (or fully closed) its sending side.
+    read_closed: bool,
+    /// Unrecoverable (I/O error, protocol violation): close now.
+    dead: bool,
+    /// The interest set currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            busy: false,
+            read_closed: false,
+            dead: false,
+            interest: Interest::READ,
+        }
+    }
+
+    fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Writes as much of the out-buffer as the socket accepts.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Appends a framed response to the out-buffer.
+    fn enqueue_response(&mut self, resp: &Response) {
+        if frame_response(&mut self.out, resp).is_err() {
+            // An oversized response cannot be framed; the connection can
+            // only be abandoned (the peer would mis-sync otherwise).
+            self.dead = true;
+        }
+    }
+}
+
+/// One event-loop thread: poller, owned connections, and (on shard 0)
+/// the listener.
+struct Shard {
+    id: usize,
+    nshards: usize,
+    poller: Poller,
+    waker_rx: UnixStream,
+    listener: Option<TcpListener>,
+    svc: Arc<dyn Service>,
+    mailboxes: Arc<Vec<Arc<Mailbox>>>,
+    serve_q: Arc<JobQueue>,
+    store_q: Arc<JobQueue>,
+    shutdown: Arc<AtomicBool>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    next_shard: usize,
+    accept_paused_until: Option<Instant>,
+    draining_since: Option<Instant>,
+}
+
+impl Shard {
+    fn draining(&self) -> bool {
+        self.draining_since.is_some()
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            let timeout = self.tick_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break; // EBADF/EINVAL: the poller itself is gone
+            }
+            if events.iter().any(|e| e.token == TOK_WAKER) {
+                drain_waker(&self.waker_rx);
+            }
+            if self.shutdown.load(Ordering::SeqCst) && !self.draining() {
+                self.begin_drain();
+            }
+            self.process_mailbox();
+            let batch: Vec<PollEvent> = events
+                .iter()
+                .copied()
+                .filter(|e| e.token != TOK_WAKER)
+                .collect();
+            for ev in batch {
+                if ev.token == TOK_LISTENER {
+                    if !self.draining() && self.accept_paused_until.is_none() {
+                        self.on_accept();
+                    }
+                } else {
+                    self.on_conn_event(ev);
+                }
+            }
+            self.maybe_resume_accept();
+            if let Some(since) = self.draining_since {
+                if self.conns.is_empty() || since.elapsed() > DRAIN_DEADLINE {
+                    break;
+                }
+            }
+        }
+        // Everything still open (drain deadline hit, poller failure) is
+        // force-closed by drop; workers with in-flight jobs will find the
+        // token gone and discard the completion.
+    }
+
+    fn tick_timeout(&self) -> Option<Duration> {
+        let mut t: Option<Duration> = None;
+        let mut cap = |d: Duration| match t {
+            Some(cur) if cur <= d => {}
+            _ => t = Some(d),
+        };
+        if let Some(until) = self.accept_paused_until {
+            cap(until.saturating_duration_since(Instant::now()));
+        }
+        if self.draining() {
+            cap(Duration::from_millis(10));
+        }
+        t
+    }
+
+    /// Stops the listener and closes every connection that has nothing
+    /// left to deliver. Busy connections stay until their in-flight
+    /// response is written; no new frames are decoded for anyone.
+    fn begin_drain(&mut self) {
+        self.draining_since = Some(Instant::now());
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.settle(token);
+        }
+    }
+
+    fn process_mailbox(&mut self) {
+        let mail = self.mailboxes[self.id].take();
+        for stream in mail.conns {
+            if self.draining() {
+                continue; // dropped: refuse new work during shutdown
+            }
+            self.adopt(stream);
+        }
+        for (token, resp) in mail.done {
+            self.on_completion(token, resp);
+        }
+    }
+
+    /// Takes ownership of an accepted socket: register and wait for the
+    /// first readable event (any bytes already queued by the client
+    /// trigger level-triggered epoll immediately).
+    fn adopt(&mut self, stream: TcpStream) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let conn = Conn::new(stream);
+        if self
+            .poller
+            .register(conn.stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return; // drop the stream; the client sees a reset
+        }
+        self.conns.insert(token, conn);
+    }
+
+    fn on_accept(&mut self) {
+        // Temporarily take the listener so accepted streams can be
+        // adopted (a `&mut self` call) while iterating.
+        let Some(listener) = self.listener.take() else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Long-lived pooled connections: a response must not
+                    // sit in Nagle's buffer waiting for a delayed ACK.
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let target = self.next_shard;
+                    self.next_shard = (self.next_shard + 1) % self.nshards;
+                    if target == self.id {
+                        self.adopt(stream);
+                    } else {
+                        self.mailboxes[target].push_conn(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.svc.accept_error(&e);
+                    // EMFILE(24)/ENFILE(23): the process is out of fds.
+                    // Accepting again immediately would fail the same way
+                    // while level-triggered epoll keeps the listener
+                    // readable — pause instead of spinning.
+                    if matches!(e.raw_os_error(), Some(23) | Some(24)) {
+                        let _ = self.poller.deregister(listener.as_raw_fd());
+                        self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                        break;
+                    }
+                    // Transient (ECONNABORTED and friends): next socket.
+                }
+            }
+        }
+        self.listener = Some(listener);
+    }
+
+    fn maybe_resume_accept(&mut self) {
+        let Some(until) = self.accept_paused_until else {
+            return;
+        };
+        if Instant::now() < until || self.draining() {
+            return;
+        }
+        self.accept_paused_until = None;
+        if let Some(listener) = &self.listener {
+            let _ = self
+                .poller
+                .register(listener.as_raw_fd(), TOK_LISTENER, Interest::READ);
+        }
+    }
+
+    fn on_conn_event(&mut self, ev: PollEvent) {
+        let draining = self.draining();
+        let Some(conn) = self.conns.get_mut(&ev.token) else {
+            return; // closed earlier in this batch
+        };
+        if ev.error && !ev.readable {
+            conn.dead = true;
+            self.settle(ev.token);
+            return;
+        }
+        if ev.readable && !conn.busy && !conn.read_closed && !draining {
+            // One read per event: level-triggered epoll re-reports any
+            // bytes left in the socket, which keeps shards fair across
+            // connections without a drain-until-WouldBlock loop.
+            match conn.decoder.read_from(&mut conn.stream) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    if conn.decoder.is_mid_frame() {
+                        conn.dead = true; // severed mid-frame: not a clean close
+                    }
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => conn.dead = true,
+            }
+            self.drain_frames(ev.token);
+        }
+        self.settle(ev.token);
+    }
+
+    /// Decodes and executes buffered frames until the connection goes
+    /// busy, runs out of complete frames, or hits backpressure.
+    fn drain_frames(&mut self, token: u64) {
+        let draining = self.draining();
+        let shard_id = self.id;
+        let svc = Arc::clone(&self.svc);
+        let serve_q = Arc::clone(&self.serve_q);
+        let store_q = Arc::clone(&self.store_q);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        loop {
+            if conn.busy || conn.dead || draining || conn.out.len() - conn.out_pos > MAX_PENDING_OUT
+            {
+                return;
+            }
+            let frame = match conn.decoder.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return,
+                Err(_) => {
+                    conn.dead = true; // oversized prefix: stream unframeable
+                    return;
+                }
+            };
+            match Request::decode(frame) {
+                Err(e) => {
+                    // Mirror the blocking server: a malformed request gets
+                    // an Error response and the connection lives on.
+                    let resp = Response::Error {
+                        message: e.to_string(),
+                    };
+                    conn.enqueue_response(&resp);
+                }
+                Ok(req) => match svc.inline(req) {
+                    Inline::Done(resp) => conn.enqueue_response(&resp),
+                    Inline::Dispatch(lane, req) => {
+                        conn.busy = true;
+                        let job = Job {
+                            shard: shard_id,
+                            token,
+                            req,
+                        };
+                        let q = match lane {
+                            Lane::Serve => &serve_q,
+                            Lane::Store => &store_q,
+                        };
+                        if !q.push(job) {
+                            // Queue closed (shutdown raced us): no worker
+                            // will ever answer, so fail the connection
+                            // rather than leave it busy forever.
+                            conn.busy = false;
+                            conn.dead = true;
+                        }
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    /// A worker finished this connection's in-flight request.
+    fn on_completion(&mut self, token: u64, resp: Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection died while the worker ran
+        };
+        conn.busy = false;
+        conn.enqueue_response(&resp);
+        // Bytes already sitting in the decoder never produce an epoll
+        // event — drain them now that the connection can accept work.
+        self.drain_frames(token);
+        self.settle(token);
+    }
+
+    /// Flushes, recomputes poller interest, and closes the connection
+    /// when nothing more can happen on it.
+    fn settle(&mut self, token: u64) {
+        let draining = self.draining();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.dead && conn.flush().is_err() {
+            conn.dead = true;
+        }
+        let finished = !conn.busy && !conn.has_pending_out();
+        if !conn.dead && finished && (conn.read_closed || draining) {
+            conn.dead = true;
+        }
+        if conn.dead {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.conns.remove(&token);
+            return;
+        }
+        let desired = Interest {
+            read: !conn.busy && !conn.read_closed && !draining,
+            write: conn.has_pending_out(),
+        };
+        if desired != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_err()
+            {
+                let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                self.conns.remove(&token);
+                return;
+            }
+            conn.interest = desired;
+        }
+    }
+}
+
+fn worker_loop(q: Arc<JobQueue>, svc: Arc<dyn Service>, mailboxes: Arc<Vec<Arc<Mailbox>>>) {
+    while let Some(job) = q.pop() {
+        let resp = svc.call(job.req);
+        mailboxes[job.shard].push_done(job.token, resp);
+    }
+}
+
+/// A running sharded-reactor server: shard threads, worker lanes, and
+/// the handles to drain them.
+pub(crate) struct Server {
+    shutdown: Arc<AtomicBool>,
+    mailboxes: Arc<Vec<Arc<Mailbox>>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    serve_q: Arc<JobQueue>,
+    store_q: Arc<JobQueue>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("shards", &self.shard_handles.len())
+            .field("workers", &self.worker_handles.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts the reactor on an already-bound listener.
+    pub(crate) fn start(
+        listener: TcpListener,
+        svc: Arc<dyn Service>,
+        opts: ServerOptions,
+    ) -> io::Result<Server> {
+        listener.set_nonblocking(true)?;
+        let nshards = opts.resolved_shards();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let serve_q = Arc::new(JobQueue::new());
+        let store_q = Arc::new(JobQueue::new());
+
+        let mut mailboxes = Vec::with_capacity(nshards);
+        let mut parts = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let poller = Poller::new()?;
+            let (waker, waker_rx) = waker_pair()?;
+            poller.register(waker_rx.as_raw_fd(), TOK_WAKER, Interest::READ)?;
+            mailboxes.push(Arc::new(Mailbox {
+                waker,
+                inbox: Mutex::new(MailboxInner::default()),
+            }));
+            parts.push((poller, waker_rx));
+        }
+        let mailboxes = Arc::new(mailboxes);
+
+        let mut shard_handles = Vec::with_capacity(nshards);
+        for (id, (poller, waker_rx)) in parts.into_iter().enumerate() {
+            let listener = if id == 0 {
+                poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+                Some(listener.try_clone()?)
+            } else {
+                None
+            };
+            let shard = Shard {
+                id,
+                nshards,
+                poller,
+                waker_rx,
+                listener,
+                svc: Arc::clone(&svc),
+                mailboxes: Arc::clone(&mailboxes),
+                serve_q: Arc::clone(&serve_q),
+                store_q: Arc::clone(&store_q),
+                shutdown: Arc::clone(&shutdown),
+                conns: HashMap::new(),
+                next_token: TOK_FIRST_CONN,
+                next_shard: 0,
+                accept_paused_until: None,
+                draining_since: None,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-shard{id}", opts.name))
+                .spawn(move || shard.run())
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            shard_handles.push(handle);
+        }
+
+        let mut worker_handles = Vec::new();
+        for (lane, q, count) in [
+            ("serve", &serve_q, opts.serve_workers.max(1)),
+            ("store", &store_q, opts.store_workers.max(1)),
+        ] {
+            for i in 0..count {
+                let q = Arc::clone(q);
+                let svc = Arc::clone(&svc);
+                let mailboxes = Arc::clone(&mailboxes);
+                let handle = std::thread::Builder::new()
+                    .name(format!("{}-{lane}{i}", opts.name))
+                    .spawn(move || worker_loop(q, svc, mailboxes))
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                worker_handles.push(handle);
+            }
+        }
+
+        Ok(Server {
+            shutdown,
+            mailboxes,
+            shard_handles,
+            worker_handles,
+            serve_q,
+            store_q,
+        })
+    }
+
+    /// Drains and joins everything. Ordering matters: shards finish
+    /// in-flight responses (which requires live workers), then the
+    /// queues close, then workers exit. Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for mb in self.mailboxes.iter() {
+            mb.waker.wake();
+        }
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.serve_q.close();
+        self.store_q.close();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{frame_into, read_frame, write_frame};
+    use bytes::Bytes;
+    use std::net::SocketAddr;
+
+    /// Ping answers inline; `Serve` sleeps on a worker (Serve lane) and
+    /// echoes the url back as a document; `Put` runs on the Store lane.
+    struct SleepyEcho {
+        delay: Duration,
+        accept_errors: std::sync::atomic::AtomicU64,
+    }
+
+    impl SleepyEcho {
+        fn new(delay: Duration) -> Self {
+            SleepyEcho {
+                delay,
+                accept_errors: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Service for SleepyEcho {
+        fn inline(&self, req: Request) -> Inline {
+            match req {
+                Request::Serve { .. } => Inline::Dispatch(Lane::Serve, req),
+                Request::Put { .. } => Inline::Dispatch(Lane::Store, req),
+                Request::Ping => Inline::Done(Response::Pong),
+                _ => Inline::Done(Response::Ok),
+            }
+        }
+
+        fn call(&self, req: Request) -> Response {
+            std::thread::sleep(self.delay);
+            match req {
+                Request::Serve { url } => Response::Document {
+                    version: 1,
+                    body: Bytes::from(url.into_bytes()),
+                },
+                Request::Put { url, version, .. } => Response::Document {
+                    version,
+                    body: Bytes::from(url.into_bytes()),
+                },
+                _ => Response::Ok,
+            }
+        }
+
+        fn accept_error(&self, _err: &io::Error) {
+            self.accept_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn start_echo(delay: Duration, shards: usize) -> (Server, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut opts = ServerOptions::named("echo-test".into());
+        opts.shards = shards;
+        let server = Server::start(listener, Arc::new(SleepyEcho::new(delay)), opts).unwrap();
+        (server, addr)
+    }
+
+    fn call(stream: &mut TcpStream, req: &Request) -> Response {
+        write_frame(stream, &req.encode()).unwrap();
+        let frame = read_frame(stream).unwrap().expect("response frame");
+        Response::decode(frame).unwrap()
+    }
+
+    #[test]
+    fn inline_and_dispatched_requests_roundtrip() {
+        let (mut server, addr) = start_echo(Duration::from_millis(1), 2);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        assert_eq!(call(&mut stream, &Request::Ping), Response::Pong);
+        assert_eq!(
+            call(&mut stream, &Request::Serve { url: "/doc".into() }),
+            Response::Document {
+                version: 1,
+                body: Bytes::from_static(b"/doc"),
+            }
+        );
+        // Interleave fast and slow on the same connection, repeatedly.
+        for i in 0..16 {
+            assert_eq!(call(&mut stream, &Request::Ping), Response::Pong);
+            let url = format!("/d{i}");
+            assert_eq!(
+                call(&mut stream, &Request::Serve { url: url.clone() }),
+                Response::Document {
+                    version: 1,
+                    body: Bytes::from(url.into_bytes()),
+                }
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_burst_answers_every_frame_in_order() {
+        let (mut server, addr) = start_echo(Duration::from_millis(1), 1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        // 50 pings + a slow serve + 50 more pings, written as one burst.
+        let mut burst = Vec::new();
+        for _ in 0..50 {
+            frame_into(&mut burst, &Request::Ping.encode()).unwrap();
+        }
+        frame_into(&mut burst, &Request::Serve { url: "/mid".into() }.encode()).unwrap();
+        for _ in 0..50 {
+            frame_into(&mut burst, &Request::Ping.encode()).unwrap();
+        }
+        stream.write_all(&burst).unwrap();
+        for i in 0..101 {
+            let frame = read_frame(&mut stream).unwrap().expect("response");
+            let resp = Response::decode(frame).unwrap();
+            if i == 50 {
+                assert_eq!(
+                    resp,
+                    Response::Document {
+                        version: 1,
+                        body: Bytes::from_static(b"/mid"),
+                    },
+                    "slow response must arrive in pipeline order"
+                );
+            } else {
+                assert_eq!(resp, Response::Pong, "frame {i}");
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_error_response_and_connection_survives() {
+        let (mut server, addr) = start_echo(Duration::from_millis(1), 1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &[99u8, 1, 2, 3]).unwrap(); // unknown tag
+        let frame = read_frame(&mut stream).unwrap().expect("error response");
+        assert!(matches!(
+            Response::decode(frame).unwrap(),
+            Response::Error { .. }
+        ));
+        assert_eq!(call(&mut stream, &Request::Ping), Response::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_mid_request_still_delivers_the_response() {
+        // The connection-leak regression: under the threaded server a
+        // shutdown joined only the accept thread and in-flight serving
+        // threads raced teardown. The reactor must (a) complete the
+        // dispatched request and flush its response, and (b) have no
+        // serving thread outlive `shutdown()`.
+        let (mut server, addr) = start_echo(Duration::from_millis(120), 1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Serve {
+                url: "/inflight".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Let the request reach the worker, then shut down around it.
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < DRAIN_DEADLINE,
+            "shutdown must not hang on the drain deadline"
+        );
+        // The response was flushed before the connection closed.
+        let frame = read_frame(&mut stream)
+            .unwrap()
+            .expect("in-flight response");
+        assert_eq!(
+            Response::decode(frame).unwrap(),
+            Response::Document {
+                version: 1,
+                body: Bytes::from_static(b"/inflight"),
+            }
+        );
+        // ...and the server is actually gone: the next read is EOF.
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    #[test]
+    fn shutdown_closes_idle_connections_and_refuses_new_ones() {
+        let (mut server, addr) = start_echo(Duration::from_millis(1), 2);
+        let mut idle = TcpStream::connect(addr).unwrap();
+        assert_eq!(call(&mut idle, &Request::Ping), Response::Pong);
+        server.shutdown();
+        assert!(
+            read_frame(&mut idle).unwrap().is_none(),
+            "idle connection must be closed cleanly at a frame boundary"
+        );
+    }
+
+    #[test]
+    fn half_close_after_request_still_gets_the_response() {
+        let (mut server, addr) = start_echo(Duration::from_millis(20), 1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Serve {
+                url: "/half".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let frame = read_frame(&mut stream).unwrap().expect("response");
+        assert_eq!(
+            Response::decode(frame).unwrap(),
+            Response::Document {
+                version: 1,
+                body: Bytes::from_static(b"/half"),
+            }
+        );
+        assert!(read_frame(&mut stream).unwrap().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn store_and_serve_lanes_run_concurrently() {
+        // A Store job must not queue behind Serve jobs: saturate the
+        // Serve lane with slow requests from several connections, then
+        // check a Put completes long before they do.
+        let (mut server, addr) = start_echo(Duration::from_millis(200), 1);
+        let mut blockers: Vec<TcpStream> =
+            (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for (i, s) in blockers.iter_mut().enumerate() {
+            write_frame(
+                s,
+                &Request::Serve {
+                    url: format!("/b{i}"),
+                }
+                .encode(),
+            )
+            .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let mut put = TcpStream::connect(addr).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(
+            call(
+                &mut put,
+                &Request::Put {
+                    url: "/fastlane".into(),
+                    version: 7,
+                    body: Bytes::new(),
+                }
+            ),
+            Response::Document {
+                version: 7,
+                body: Bytes::from_static(b"/fastlane"),
+            }
+        );
+        // One Store job sleeps 200ms; the Serve backlog is 8×200ms on 4
+        // workers. Finishing well under the backlog proves lane isolation.
+        assert!(
+            t0.elapsed() < Duration::from_millis(450),
+            "Put waited on the Serve lane: {:?}",
+            t0.elapsed()
+        );
+        for s in &mut blockers {
+            let frame = read_frame(s).unwrap().expect("blocker response");
+            assert!(matches!(
+                Response::decode(frame).unwrap(),
+                Response::Document { .. }
+            ));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_connections_across_shards() {
+        let (mut server, addr) = start_echo(Duration::from_millis(1), 3);
+        let mut streams: Vec<TcpStream> =
+            (0..24).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for round in 0..4 {
+            for (i, s) in streams.iter_mut().enumerate() {
+                write_frame(s, &Request::Ping.encode()).unwrap();
+                let frame = read_frame(s).unwrap().expect("pong");
+                assert_eq!(
+                    Response::decode(frame).unwrap(),
+                    Response::Pong,
+                    "round {round}, conn {i}"
+                );
+            }
+        }
+        server.shutdown();
+    }
+}

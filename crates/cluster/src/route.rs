@@ -12,7 +12,7 @@
 //! The *initial* table is a pure function of the membership size, so nodes
 //! agree on it without any coordination.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes};
 use cachecloud_types::{CacheCloudError, DocId};
 
 /// One beacon point's slice of a ring: `[lo, hi]` inclusive.
@@ -176,7 +176,7 @@ impl RouteTable {
     }
 
     /// Serializes the table for the wire.
-    pub fn encode(&self, buf: &mut BytesMut) {
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
         buf.put_u64(self.version);
         buf.put_u64(self.irh_gen);
         buf.put_u32(self.rings.len() as u32);
@@ -241,6 +241,7 @@ impl RouteTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     #[test]
     fn initial_table_tiles_and_validates() {

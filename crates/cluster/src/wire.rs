@@ -136,12 +136,12 @@ pub enum Response {
     },
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+fn put_bytes<B: BufMut>(buf: &mut B, b: &[u8]) {
     buf.put_u32(b.len() as u32);
     buf.put_slice(b);
 }
@@ -190,7 +190,7 @@ fn checked_len(n: usize, elem_size: usize, what: &str) -> Result<usize, CacheClo
     Ok(n)
 }
 
-fn put_histogram(buf: &mut BytesMut, h: &HistogramSnapshot) {
+fn put_histogram<B: BufMut>(buf: &mut B, h: &HistogramSnapshot) {
     buf.put_u64(h.lo.to_bits());
     buf.put_u64(h.hi.to_bits());
     buf.put_u32(h.buckets.len() as u32);
@@ -222,7 +222,7 @@ fn take_histogram(buf: &mut Bytes) -> Result<HistogramSnapshot, CacheCloudError>
     })
 }
 
-fn put_node_stats(buf: &mut BytesMut, s: &NodeStats) {
+fn put_node_stats<B: BufMut>(buf: &mut B, s: &NodeStats) {
     buf.put_u32(s.node);
     buf.put_u64(s.resident);
     buf.put_u64(s.directory_records);
@@ -269,47 +269,55 @@ impl Request {
     /// Encodes the request body (without the outer frame length).
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
+        self.encode_to(&mut b);
+        b.freeze()
+    }
+
+    /// Encodes the request body directly into `b` (without the outer frame
+    /// length). Hot paths encode straight into a reusable write buffer via
+    /// [`frame_request`] instead of materialising an intermediate [`Bytes`].
+    pub fn encode_to<B: BufMut>(&self, b: &mut B) {
         match self {
             Request::Ping => b.put_u8(0),
             Request::Lookup { url } => {
                 b.put_u8(1);
-                put_str(&mut b, url);
+                put_str(b, url);
             }
             Request::Register { url, holder } => {
                 b.put_u8(2);
-                put_str(&mut b, url);
+                put_str(b, url);
                 b.put_u32(*holder);
             }
             Request::Unregister { url, holder } => {
                 b.put_u8(3);
-                put_str(&mut b, url);
+                put_str(b, url);
                 b.put_u32(*holder);
             }
             Request::Get { url } => {
                 b.put_u8(4);
-                put_str(&mut b, url);
+                put_str(b, url);
             }
             Request::Serve { url } => {
                 b.put_u8(5);
-                put_str(&mut b, url);
+                put_str(b, url);
             }
             Request::Put { url, version, body } => {
                 b.put_u8(6);
-                put_str(&mut b, url);
+                put_str(b, url);
                 b.put_u64(*version);
-                put_bytes(&mut b, body);
+                put_bytes(b, body);
             }
             Request::Update { url, version, body } => {
                 b.put_u8(7);
-                put_str(&mut b, url);
+                put_str(b, url);
                 b.put_u64(*version);
-                put_bytes(&mut b, body);
+                put_bytes(b, body);
             }
             Request::Stats => b.put_u8(8),
             Request::GetLoad => b.put_u8(9),
             Request::SetRanges { table } => {
                 b.put_u8(10);
-                table.encode(&mut b);
+                table.encode(b);
             }
             Request::GetTable => b.put_u8(11),
             Request::Adopt {
@@ -318,7 +326,7 @@ impl Request {
                 holders,
             } => {
                 b.put_u8(12);
-                put_str(&mut b, url);
+                put_str(b, url);
                 b.put_u64(*version);
                 b.put_u32(holders.len() as u32);
                 for h in holders {
@@ -326,7 +334,6 @@ impl Request {
                 }
             }
         }
-        b.freeze()
     }
 
     /// Decodes a request body.
@@ -411,6 +418,14 @@ impl Response {
     /// Encodes the response body (without the outer frame length).
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
+        self.encode_to(&mut b);
+        b.freeze()
+    }
+
+    /// Encodes the response body directly into `b` (without the outer frame
+    /// length). The reactor frames responses straight into each connection's
+    /// write buffer via [`frame_response`].
+    pub fn encode_to<B: BufMut>(&self, b: &mut B) {
         match self {
             Response::Pong => b.put_u8(0),
             Response::Ok => b.put_u8(1),
@@ -425,16 +440,16 @@ impl Response {
             Response::Document { version, body } => {
                 b.put_u8(3);
                 b.put_u64(*version);
-                put_bytes(&mut b, body);
+                put_bytes(b, body);
             }
             Response::NotFound => b.put_u8(4),
             Response::Stats { stats } => {
                 b.put_u8(5);
-                put_node_stats(&mut b, stats);
+                put_node_stats(b, stats);
             }
             Response::Error { message } => {
                 b.put_u8(6);
-                put_str(&mut b, message);
+                put_str(b, message);
             }
             Response::Load { entries } => {
                 b.put_u8(7);
@@ -447,10 +462,9 @@ impl Response {
             }
             Response::Table { table } => {
                 b.put_u8(8);
-                table.encode(&mut b);
+                table.encode(b);
             }
         }
-        b.freeze()
     }
 
     /// Decodes a response body.
@@ -546,6 +560,197 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), CacheCloudErr
     w.write_all(&wire)?;
     w.flush()?;
     Ok(())
+}
+
+/// Appends one framed message (length prefix + body) to `dst` without an
+/// intermediate allocation. This is the buffered-writer counterpart of
+/// [`write_frame`]: the reactor accumulates frames in a per-connection
+/// write buffer and flushes them with as few `write` syscalls as the
+/// socket allows.
+///
+/// # Errors
+///
+/// Rejects bodies larger than [`MAX_FRAME`].
+pub fn frame_into(dst: &mut Vec<u8>, body: &[u8]) -> Result<(), CacheCloudError> {
+    if body.len() > MAX_FRAME {
+        return Err(CacheCloudError::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+            body.len()
+        )));
+    }
+    dst.reserve(4 + body.len());
+    dst.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    dst.extend_from_slice(body);
+    Ok(())
+}
+
+/// Appends a framed [`Request`] to `dst`, encoding the body directly into
+/// the destination buffer: a 4-byte length placeholder goes in first and is
+/// backfilled once the body length is known, so no intermediate `Bytes`
+/// allocation or copy happens on the client hot path.
+///
+/// # Errors
+///
+/// Rejects encoded bodies larger than [`MAX_FRAME`]; `dst` is rolled back
+/// to its original length on failure.
+pub fn frame_request(dst: &mut Vec<u8>, req: &Request) -> Result<(), CacheCloudError> {
+    frame_encoded(dst, |b| req.encode_to(b))
+}
+
+/// Appends a framed [`Response`] to `dst` — the server-side counterpart of
+/// [`frame_request`], used by the reactor to frame responses straight into
+/// each connection's write buffer.
+///
+/// # Errors
+///
+/// Rejects encoded bodies larger than [`MAX_FRAME`]; `dst` is rolled back
+/// to its original length on failure.
+pub fn frame_response(dst: &mut Vec<u8>, resp: &Response) -> Result<(), CacheCloudError> {
+    frame_encoded(dst, |b| resp.encode_to(b))
+}
+
+fn frame_encoded(
+    dst: &mut Vec<u8>,
+    encode: impl FnOnce(&mut Vec<u8>),
+) -> Result<(), CacheCloudError> {
+    let prefix_at = dst.len();
+    dst.extend_from_slice(&[0u8; 4]);
+    encode(dst);
+    let body_len = dst.len() - prefix_at - 4;
+    if body_len > MAX_FRAME {
+        dst.truncate(prefix_at);
+        return Err(CacheCloudError::Protocol(format!(
+            "frame of {body_len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    dst[prefix_at..prefix_at + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+    Ok(())
+}
+
+/// How many bytes [`FrameDecoder::read_from`] asks the source for per call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A resumable, nonblocking-friendly frame decoder.
+///
+/// The blocking [`read_frame`] owns the socket until a whole frame arrives;
+/// a reactor cannot afford that — a `read` may deliver half a length
+/// prefix, a frame and a half, or ten pipelined frames at once. The
+/// decoder accumulates whatever bytes the socket had and hands back
+/// complete frames as they materialise:
+///
+/// ```
+/// use cachecloud_cluster::wire::{frame_into, FrameDecoder};
+///
+/// let mut wire = Vec::new();
+/// frame_into(&mut wire, b"hello").unwrap();
+/// let mut dec = FrameDecoder::new();
+/// dec.feed(&wire[..3]); // partial prefix
+/// assert!(dec.next_frame().unwrap().is_none());
+/// dec.feed(&wire[3..]);
+/// assert_eq!(&dec.next_frame().unwrap().unwrap()[..], b"hello");
+/// ```
+///
+/// Oversized length prefixes are rejected as soon as the prefix itself is
+/// readable — before any body bytes are buffered — so a hostile peer
+/// cannot force a [`MAX_FRAME`] allocation. The internal buffer is reused
+/// across frames; consumed bytes are compacted away lazily.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the transport to the decode buffer.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Reads once from `r` directly into the decode buffer (no bounce
+    /// buffer) and returns how many bytes arrived. `Ok(0)` means EOF; a
+    /// `WouldBlock` error from a nonblocking socket is returned untouched
+    /// for the caller to interpret.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `read` error.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        self.buf.resize(old + READ_CHUNK, 0);
+        let res = r.read(&mut self.buf[old..]);
+        let n = *res.as_ref().unwrap_or(&0);
+        self.buf.truncate(old + n);
+        res
+    }
+
+    /// Pops the next complete frame, or `None` if more bytes are needed.
+    /// Call repeatedly after each `feed`/`read_from`: one read can carry
+    /// several pipelined frames.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheCloudError::Protocol`] if the buffered length prefix exceeds
+    /// [`MAX_FRAME`]. The decoder is poisoned conceptually — the stream can
+    /// no longer be framed — so callers should drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, CacheCloudError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&self.buf[self.start..self.start + 4]);
+        let len = u32::from_be_bytes(prefix) as usize;
+        if len > MAX_FRAME {
+            return Err(CacheCloudError::Protocol(format!(
+                "incoming frame of {len} bytes exceeds the limit"
+            )));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some(Bytes::from(body)))
+    }
+
+    /// True when bytes of an unfinished frame are buffered. After draining
+    /// [`Self::next_frame`] to `None`, this distinguishes an EOF at a frame
+    /// boundary (clean close) from one mid-frame (a severed stream).
+    pub fn is_mid_frame(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// Bytes currently buffered and not yet consumed by a returned frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Drops consumed bytes. Free when the buffer is fully drained (the
+    /// common case: request/response traffic consumes everything); a
+    /// `copy_within` otherwise, amortised by only firing once the dead
+    /// prefix outweighs the live tail.
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= READ_CHUNK || self.start > self.buf.len() - self.start {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.start = 0;
+        }
+    }
 }
 
 /// Reads one framed message from `r`. Returns `None` on clean EOF at a
@@ -858,5 +1063,227 @@ mod tests {
         wire.extend_from_slice(b"shrt");
         let mut cursor = std::io::Cursor::new(wire);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn frame_into_matches_write_frame() {
+        let bodies: [&[u8]; 3] = [b"", b"x", &[7u8; 300]];
+        for body in bodies {
+            let mut blocking = Vec::new();
+            write_frame(&mut blocking, body).unwrap();
+            let mut buffered = Vec::new();
+            frame_into(&mut buffered, body).unwrap();
+            assert_eq!(blocking, buffered);
+        }
+        // Appends, never clears: two frames accumulate in one buffer.
+        let mut acc = Vec::new();
+        frame_into(&mut acc, b"a").unwrap();
+        frame_into(&mut acc, b"bb").unwrap();
+        assert_eq!(acc.len(), (4 + 1) + (4 + 2));
+        // And the oversized check still applies.
+        assert!(frame_into(&mut Vec::new(), &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn frame_request_and_response_match_the_two_step_encoding() {
+        let req = Request::Put {
+            url: "/a".into(),
+            version: 9,
+            body: Bytes::from(vec![1, 2, 3]),
+        };
+        let mut direct = Vec::new();
+        frame_request(&mut direct, &req).unwrap();
+        let mut two_step = Vec::new();
+        frame_into(&mut two_step, &req.encode()).unwrap();
+        assert_eq!(direct, two_step);
+
+        let resp = Response::Document {
+            version: 9,
+            body: Bytes::from(vec![4, 5]),
+        };
+        let mut direct = Vec::new();
+        frame_response(&mut direct, &resp).unwrap();
+        let mut two_step = Vec::new();
+        frame_into(&mut two_step, &resp.encode()).unwrap();
+        assert_eq!(direct, two_step);
+    }
+
+    #[test]
+    fn frame_request_rolls_back_the_buffer_on_an_oversized_body() {
+        let req = Request::Put {
+            url: "/big".into(),
+            version: 1,
+            body: Bytes::from(vec![0u8; MAX_FRAME]),
+        };
+        let mut dst = vec![7u8, 7, 7];
+        assert!(frame_request(&mut dst, &req).is_err());
+        assert_eq!(dst, vec![7u8, 7, 7], "failed frame leaves no partial bytes");
+    }
+
+    #[test]
+    fn decoder_handles_partial_prefix() {
+        let mut wire = Vec::new();
+        frame_into(&mut wire, b"payload").unwrap();
+        let mut dec = FrameDecoder::new();
+        // 1, then 2, then the last byte of the 4-byte prefix.
+        dec.feed(&wire[..1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.is_mid_frame());
+        dec.feed(&wire[1..3]);
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.feed(&wire[3..4]);
+        assert!(
+            dec.next_frame().unwrap().is_none(),
+            "prefix alone is not a frame"
+        );
+        assert!(dec.is_mid_frame());
+        dec.feed(&wire[4..]);
+        let frame = dec.next_frame().unwrap().expect("complete frame");
+        assert_eq!(&frame[..], b"payload");
+        assert!(!dec.is_mid_frame(), "boundary after the frame is clean");
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_partial_body() {
+        let body = Response::Document {
+            version: 3,
+            body: Bytes::from(vec![0xAB; 1000]),
+        }
+        .encode();
+        let mut wire = Vec::new();
+        frame_into(&mut wire, &body).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..wire.len() / 2]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.is_mid_frame(), "half a body is mid-frame");
+        dec.feed(&wire[wire.len() / 2..]);
+        let frame = dec.next_frame().unwrap().expect("complete frame");
+        assert_eq!(
+            Response::decode(frame).unwrap(),
+            Response::Document {
+                version: 3,
+                body: Bytes::from(vec![0xAB; 1000]),
+            }
+        );
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(!dec.is_mid_frame());
+    }
+
+    #[test]
+    fn decoder_reassembles_pipelined_frames_at_every_split_boundary() {
+        // Five pipelined frames of varying sizes in one byte stream; for
+        // every possible split point, feed the two halves separately and
+        // demand the identical frame sequence. This sweeps every "read()
+        // returned a weird amount" case the reactor can see.
+        let frames: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            vec![0x55; 37],
+            Request::Serve {
+                url: "/pipelined".into(),
+            }
+            .encode()
+            .to_vec(),
+            vec![0xFF; 256],
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            frame_into(&mut wire, f).unwrap();
+        }
+        for split in 0..=wire.len() {
+            let mut dec = FrameDecoder::new();
+            let mut out: Vec<Bytes> = Vec::new();
+            for half in [&wire[..split], &wire[split..]] {
+                dec.feed(half);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    out.push(f);
+                }
+            }
+            assert_eq!(out.len(), frames.len(), "split at {split}");
+            for (got, want) in out.iter().zip(&frames) {
+                assert_eq!(&got[..], &want[..], "split at {split}");
+            }
+            assert!(!dec.is_mid_frame(), "split at {split}: clean boundary");
+        }
+    }
+
+    #[test]
+    fn decoder_survives_byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        for i in 0..4u8 {
+            frame_into(&mut wire, &vec![i; (i as usize + 1) * 3]).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), 4);
+        for (i, f) in out.iter().enumerate() {
+            assert_eq!(&f[..], &vec![i as u8; (i + 1) * 3][..]);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix_before_buffering_a_body() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        // Rejected on the prefix alone — no body bytes were ever needed.
+        assert!(dec.next_frame().is_err());
+        // The stream is unframeable; the error is sticky on retry too.
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_read_from_pulls_pipelined_frames_off_a_stream() {
+        let mut wire = Vec::new();
+        frame_into(&mut wire, &Request::Ping.encode()).unwrap();
+        frame_into(&mut wire, &Request::Stats.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut dec = FrameDecoder::new();
+        let n = dec.read_from(&mut cursor).unwrap();
+        assert!(n > 0);
+        assert_eq!(
+            Request::decode(dec.next_frame().unwrap().unwrap()).unwrap(),
+            Request::Ping
+        );
+        assert_eq!(
+            Request::decode(dec.next_frame().unwrap().unwrap()).unwrap(),
+            Request::Stats
+        );
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.read_from(&mut cursor).unwrap(), 0, "EOF");
+        assert!(!dec.is_mid_frame(), "EOF at a boundary is a clean close");
+    }
+
+    #[test]
+    fn decoder_buffer_compacts_across_many_frames() {
+        // Long-lived connections must not grow the decode buffer without
+        // bound: push far more frame bytes than READ_CHUNK through one
+        // decoder with a straggling partial frame in between.
+        let mut dec = FrameDecoder::new();
+        let payload = vec![9u8; 4096];
+        let mut wire = Vec::new();
+        frame_into(&mut wire, &payload).unwrap();
+        for _ in 0..64 {
+            // Feed one frame plus the first 3 bytes of the next.
+            dec.feed(&wire);
+            dec.feed(&wire[..3]);
+            assert_eq!(&dec.next_frame().unwrap().unwrap()[..], &payload[..]);
+            assert!(dec.next_frame().unwrap().is_none());
+            assert!(dec.is_mid_frame());
+            dec.feed(&wire[3..]);
+            assert_eq!(&dec.next_frame().unwrap().unwrap()[..], &payload[..]);
+            assert!(!dec.is_mid_frame());
+            assert!(
+                dec.buf.capacity() < 16 * wire.len(),
+                "decode buffer must stay bounded, got {}",
+                dec.buf.capacity()
+            );
+        }
     }
 }

@@ -7,6 +7,9 @@
 //!         [--theta T] [--workload zipf|sydney] [--workers N]
 //!         [--warmup-frac F] [--no-closed] [--think-ms MS]
 //!         [--compare-ops N] [--ramp Q1,Q2,...] [--body-cap BYTES]
+//!         [--bounded-capacity BYTES] [--bounded-ops N]
+//!         [--pipeline-depth N] [--min-closed-qps Q]
+//!         [--min-pipelined-qps Q]
 //! ```
 //!
 //! `--smoke` selects the small CI preset and exits non-zero unless the
@@ -22,15 +25,19 @@ fn usage() -> ! {
         "usage: loadgen [--smoke] [--out FILE] [--nodes N] [--seed S] [--qps Q] \
          [--ops N] [--docs N] [--theta T] [--workload zipf|sydney] [--workers N] \
          [--warmup-frac F] [--no-closed] [--think-ms MS] [--compare-ops N] \
-         [--ramp Q1,Q2,...] [--body-cap BYTES]"
+         [--ramp Q1,Q2,...] [--body-cap BYTES] [--bounded-capacity BYTES] \
+         [--bounded-ops N] [--pipeline-depth N] [--min-closed-qps Q] \
+         [--min-pipelined-qps Q]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (BenchConfig, String, bool) {
+fn parse_args() -> (BenchConfig, String, bool, f64, f64) {
     let mut config = BenchConfig::standard();
     let mut out = "BENCH_cluster.json".to_owned();
     let mut smoke = false;
+    let mut min_closed_qps = 0.0;
+    let mut min_pipelined_qps = 0.0;
     let mut args = std::env::args().skip(1);
 
     fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -69,6 +76,28 @@ fn parse_args() -> (BenchConfig, String, bool) {
                 config.compare_ops = parse(&value(&mut args, "--compare-ops"), "--compare-ops");
             }
             "--body-cap" => config.body_cap = parse(&value(&mut args, "--body-cap"), "--body-cap"),
+            "--bounded-capacity" => {
+                config.bounded_capacity = parse(
+                    &value(&mut args, "--bounded-capacity"),
+                    "--bounded-capacity",
+                );
+            }
+            "--bounded-ops" => {
+                config.bounded_ops = parse(&value(&mut args, "--bounded-ops"), "--bounded-ops");
+            }
+            "--pipeline-depth" => {
+                config.pipeline_depth =
+                    parse(&value(&mut args, "--pipeline-depth"), "--pipeline-depth");
+            }
+            "--min-closed-qps" => {
+                min_closed_qps = parse(&value(&mut args, "--min-closed-qps"), "--min-closed-qps");
+            }
+            "--min-pipelined-qps" => {
+                min_pipelined_qps = parse(
+                    &value(&mut args, "--min-pipelined-qps"),
+                    "--min-pipelined-qps",
+                );
+            }
             "--ramp" => {
                 let raw = value(&mut args, "--ramp");
                 config.ramp = raw
@@ -94,11 +123,11 @@ fn parse_args() -> (BenchConfig, String, bool) {
             }
         }
     }
-    (config, out, smoke)
+    (config, out, smoke, min_closed_qps, min_pipelined_qps)
 }
 
 fn main() -> ExitCode {
-    let (config, out, smoke) = parse_args();
+    let (config, out, smoke, min_closed_qps, min_pipelined_qps) = parse_args();
     eprintln!(
         "loadgen: {} nodes, seed {}, {} ops at {} qps ({})",
         config.nodes,
@@ -131,6 +160,24 @@ fn main() -> ExitCode {
         report.open.fetch.p999_ms,
         report.open.errors,
     );
+    if let Some(closed) = &report.closed {
+        eprintln!(
+            "loadgen: closed loop achieved {:.0} qps, fetch p50 {:.2} ms / p99 {:.2} ms, {} errors",
+            closed.achieved_qps, closed.fetch.p50_ms, closed.fetch.p99_ms, closed.errors,
+        );
+    }
+    if let Some(p) = &report.pipelined {
+        eprintln!(
+            "loadgen: pipelined ceiling {:.0} qps, fetch p50 {:.2} ms / p99 {:.2} ms, {} errors",
+            p.achieved_qps, p.fetch.p50_ms, p.fetch.p99_ms, p.errors,
+        );
+    }
+    if let Some(b) = &report.bounded {
+        eprintln!(
+            "loadgen: bounded pass ({} B/node): {} evictions, hit ratio {:.3}",
+            b.capacity_bytes, b.cluster.evictions, b.cluster.hit_ratio,
+        );
+    }
     if let Some(cmp) = &report.comparison {
         eprintln!(
             "loadgen: pooled p99 {:.2} ms vs unpooled p99 {:.2} ms",
@@ -163,6 +210,26 @@ fn main() -> ExitCode {
         if report.cluster.requests == 0 {
             failures.push("cluster served no requests".to_owned());
         }
+        if let Some(p) = &report.pipelined {
+            eprintln!(
+            "loadgen: pipelined ceiling {:.0} qps, fetch p50 {:.2} ms / p99 {:.2} ms, {} errors",
+            p.achieved_qps, p.fetch.p50_ms, p.fetch.p99_ms, p.errors,
+        );
+        }
+        if let Some(b) = &report.bounded {
+            // Capacity pressure must actually bite: a bounded pass with
+            // no evictions (or a perfect hit ratio) means the cap was
+            // sized above the working set and the pass tested nothing.
+            if b.cluster.evictions == 0 {
+                failures.push("bounded pass produced no evictions".to_owned());
+            }
+            if b.cluster.hit_ratio >= 1.0 {
+                failures.push(format!(
+                    "bounded pass hit ratio {:.4} not under 1.0",
+                    b.cluster.hit_ratio
+                ));
+            }
+        }
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("loadgen: smoke check failed: {f}");
@@ -170,6 +237,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("loadgen: smoke checks passed");
+    }
+    if min_pipelined_qps > 0.0 {
+        let Some(p) = &report.pipelined else {
+            eprintln!("loadgen: --min-pipelined-qps requires a pipelined pass");
+            return ExitCode::FAILURE;
+        };
+        if p.achieved_qps < min_pipelined_qps {
+            eprintln!(
+                "loadgen: pipelined ceiling {:.0} qps is below the {min_pipelined_qps:.0} qps floor",
+                p.achieved_qps
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "loadgen: pipelined ceiling {:.0} qps clears the {min_pipelined_qps:.0} qps floor",
+            p.achieved_qps
+        );
+    }
+    if min_closed_qps > 0.0 {
+        // The CI throughput gate: catches a server-side regression that
+        // drops the closed-loop ceiling below the configured floor.
+        let Some(closed) = &report.closed else {
+            eprintln!("loadgen: --min-closed-qps requires a closed-loop pass");
+            return ExitCode::FAILURE;
+        };
+        if closed.achieved_qps < min_closed_qps {
+            eprintln!(
+                "loadgen: closed-loop {:.0} qps is below the {min_closed_qps:.0} qps floor",
+                closed.achieved_qps
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "loadgen: closed-loop {:.0} qps clears the {min_closed_qps:.0} qps floor",
+            closed.achieved_qps
+        );
     }
     ExitCode::SUCCESS
 }

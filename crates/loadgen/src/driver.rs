@@ -18,18 +18,23 @@
 //! Origin-side updates ride a dedicated injector thread driving the
 //! beacon `update` path, mirroring the paper's single origin per cloud.
 
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cachecloud_cluster::{CloudClient, LocalCluster};
+use cachecloud_cluster::wire::{frame_request, FrameDecoder};
+use cachecloud_cluster::{CloudClient, LocalCluster, Request, Response};
 use cachecloud_metrics::Summary;
 use cachecloud_types::{ByteSize, CacheCloudError};
 use cachecloud_workload::{SydneyTraceBuilder, Trace, ZipfTraceBuilder};
 
 use crate::capture::{LatencySummary, Recorder};
 use crate::report::{
-    BenchReport, ClusterReport, Comparison, NodeBrief, PoolCounters, RampPoint, RunReport,
+    BenchReport, BoundedReport, ClusterReport, Comparison, NodeBrief, PoolCounters, RampPoint,
+    RunReport,
 };
 use crate::schedule::{Op, OpKind, Schedule};
 
@@ -85,6 +90,19 @@ pub struct BenchConfig {
     /// Cap on generated body sizes in bytes (catalog sizes can reach
     /// hundreds of KiB; benches don't need to move that much).
     pub body_cap: u64,
+    /// Per-node store capacity in bytes for the bounded-capacity pass
+    /// (0 skips it). Sized well below the working set, this pass forces
+    /// evictions and drags the hit ratio under 1.0 — the regime the
+    /// paper's cooperative-caching claims are actually about.
+    pub bounded_capacity: u64,
+    /// Operations in the bounded-capacity pass.
+    pub bounded_ops: usize,
+    /// Outstanding requests per connection in the pipelined ceiling pass
+    /// (0 skips it). One-in-flight closed loops measure the syscall floor
+    /// of a synchronous client, not the server; this pass keeps a window
+    /// of frames in flight per connection, which is what the reactor's
+    /// per-connection pipelining exists for.
+    pub pipeline_depth: usize,
 }
 
 impl BenchConfig {
@@ -106,6 +124,9 @@ impl BenchConfig {
             compare_ops: 400,
             ramp: Vec::new(),
             body_cap: 2_048,
+            bounded_capacity: 16 * 1024,
+            bounded_ops: 600,
+            pipeline_depth: 16,
         }
     }
 
@@ -127,6 +148,9 @@ impl BenchConfig {
             compare_ops: 1_000,
             ramp: vec![200.0, 400.0, 800.0, 1_600.0],
             body_cap: 4_096,
+            bounded_capacity: 32 * 1024,
+            bounded_ops: 2_000,
+            pipeline_depth: 32,
         }
     }
 }
@@ -229,6 +253,16 @@ impl Driver {
             .closed
             .then(|| run_closed(&client, &schedule, &docs, c.nodes, c.workers, c.think_ms));
 
+        let pipelined = (c.pipeline_depth > 0).then(|| {
+            run_pipelined(
+                cluster.peers(),
+                &schedule,
+                &docs,
+                c.workers,
+                c.pipeline_depth,
+            )
+        });
+
         let mut ramp = Vec::new();
         for &step in &c.ramp {
             let seg = Schedule::from_trace(&trace, step, 500);
@@ -250,6 +284,12 @@ impl Driver {
             None
         };
 
+        let bounded = if c.bounded_capacity > 0 {
+            Some(self.run_bounded(&trace)?)
+        } else {
+            None
+        };
+
         cluster.shutdown();
 
         Ok(BenchReport {
@@ -267,10 +307,34 @@ impl Driver {
             populate_errors,
             open,
             closed,
+            pipelined,
             ramp,
             cluster: cluster_report,
             pool,
             comparison,
+            bounded,
+        })
+    }
+
+    /// Replays a schedule prefix against a fresh cluster whose per-node
+    /// stores are capped below the working set, so the run reports the
+    /// eviction-pressure regime: `evictions > 0` and `hit_ratio < 1.0`.
+    fn run_bounded(&self, trace: &Trace) -> Result<BoundedReport, CacheCloudError> {
+        let c = &self.config;
+        let capacity = ByteSize::from_bytes(c.bounded_capacity);
+        let cluster = LocalCluster::spawn_with_options(c.nodes, capacity, true)?;
+        let client = cluster.client();
+        let docs = DocSet::of(trace, c.body_cap);
+        let _ = populate(&client, &docs);
+        let schedule = Schedule::from_trace(trace, c.qps, c.bounded_ops);
+        let mut run = run_closed(&client, &schedule, &docs, c.nodes, c.workers, 0);
+        run.mode = "closed/bounded".to_owned();
+        let cluster_report = scrape_cluster(&client, c.nodes)?;
+        cluster.shutdown();
+        Ok(BoundedReport {
+            capacity_bytes: c.bounded_capacity,
+            run,
+            cluster: cluster_report,
         })
     }
 
@@ -477,6 +541,128 @@ fn run_closed(
     finish("closed", 0.0, wall_s, wall_s, rec)
 }
 
+/// The pipelined ceiling pass: each of `conns` connections keeps up to
+/// `window` fetch frames in flight, writing bursts and draining responses
+/// in order. This measures what the server can actually sustain per
+/// connection instead of the two-syscalls-per-op floor a one-in-flight
+/// synchronous client imposes; latency is measured from the frame's
+/// actual send.
+fn run_pipelined(
+    peers: &[SocketAddr],
+    schedule: &Schedule,
+    docs: &Arc<DocSet>,
+    conns: usize,
+    window: usize,
+) -> RunReport {
+    let conns = conns.max(1);
+    let window = window.max(1);
+    let mut shards: Vec<Vec<Op>> = vec![Vec::new(); conns];
+    let mut next = 0usize;
+    for op in schedule.ops() {
+        if op.kind == OpKind::Fetch {
+            shards[next % conns].push(*op);
+            next += 1;
+        }
+    }
+
+    let epoch = Instant::now();
+    let recorders: Vec<Recorder> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(c, shard)| {
+                let addr = peers[c % peers.len()];
+                let docs = Arc::clone(docs);
+                s.spawn(move || pipeline_one(addr, shard, &docs, window))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipeline worker panicked"))
+            .collect()
+    });
+    let wall_s = epoch.elapsed().as_secs_f64();
+    let mut rec = Recorder::new();
+    for r in &recorders {
+        rec.merge(r);
+    }
+    finish("closed/pipelined", 0.0, wall_s, wall_s, rec)
+}
+
+/// One pipelined connection: burst-frame up to the window, drain at least
+/// half of it, repeat. Any transport failure marks the remaining ops as
+/// errors — the pass reports the wreckage instead of panicking.
+fn pipeline_one(addr: SocketAddr, shard: &[Op], docs: &DocSet, window: usize) -> Recorder {
+    let mut rec = Recorder::new();
+    let fail_rest = |rec: &mut Recorder, done: usize| {
+        for _ in done..shard.len() {
+            rec.record_err(OpKind::Fetch);
+        }
+    };
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            fail_rest(&mut rec, 0);
+            return rec;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut dec = FrameDecoder::new();
+    let mut wbuf = Vec::new();
+    let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(window);
+    let mut sent = 0usize;
+    let mut recvd = 0usize;
+    while recvd < shard.len() {
+        wbuf.clear();
+        while sent - recvd < window && sent < shard.len() {
+            let url = &docs.urls[shard[sent].doc as usize];
+            if frame_request(&mut wbuf, &Request::Serve { url: url.clone() }).is_err() {
+                fail_rest(&mut rec, recvd);
+                return rec;
+            }
+            sent_at.push_back(Instant::now());
+            sent += 1;
+        }
+        if !wbuf.is_empty() && (&stream).write_all(&wbuf).is_err() {
+            fail_rest(&mut rec, recvd);
+            return rec;
+        }
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    let t0 = sent_at.pop_front().expect("response without a request");
+                    match Response::decode(frame) {
+                        Ok(Response::Document { .. }) => {
+                            rec.record_ok(OpKind::Fetch, t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok(Response::NotFound) => {
+                            rec.record_ok(OpKind::Fetch, t0.elapsed().as_secs_f64() * 1e3);
+                            rec.record_miss();
+                        }
+                        _ => rec.record_err(OpKind::Fetch),
+                    }
+                    recvd += 1;
+                    if sent - recvd < window / 2 || recvd == shard.len() {
+                        break;
+                    }
+                }
+                Ok(None) => match dec.read_from(&mut &stream) {
+                    Ok(0) | Err(_) => {
+                        fail_rest(&mut rec, recvd);
+                        return rec;
+                    }
+                    Ok(_) => {}
+                },
+                Err(_) => {
+                    fail_rest(&mut rec, recvd);
+                    return rec;
+                }
+            }
+        }
+    }
+    rec
+}
+
 fn finish(
     mode: &str,
     offered_qps: f64,
@@ -524,6 +710,7 @@ fn scrape_cluster(client: &CloudClient, nodes: usize) -> Result<ClusterReport, C
     let loads = Summary::of(&beacon_loads);
     Ok(ClusterReport {
         requests,
+        evictions: total.counter("evictions"),
         local_hits: total.counter("local_hits"),
         cloud_hits: total.counter("cloud_hits"),
         origin_fetches: total.counter("origin_fetches"),

@@ -39,6 +39,8 @@ pub struct RunReport {
 pub struct ClusterReport {
     /// Requests served by the cloud.
     pub requests: u64,
+    /// Store evictions across the cloud (0 with unlimited capacity).
+    pub evictions: u64,
     /// Hits from the serving node's own store.
     pub local_hits: u64,
     /// Hits via a peer holder.
@@ -120,6 +122,19 @@ pub struct Comparison {
     pub pooled_pool: Option<PoolCounters>,
 }
 
+/// The bounded-capacity pass: the same workload replayed against a
+/// cluster whose per-node stores are capped below the working set, so
+/// evictions fire and the hit ratio drops under 1.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedReport {
+    /// Per-node store capacity in bytes.
+    pub capacity_bytes: u64,
+    /// The driven run (closed loop).
+    pub run: RunReport,
+    /// Cloud-side telemetry after the run.
+    pub cluster: ClusterReport,
+}
+
 /// Everything `BENCH_cluster.json` carries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -152,6 +167,11 @@ pub struct BenchReport {
     pub open: RunReport,
     /// The closed-loop run, when configured.
     pub closed: Option<RunReport>,
+    /// The pipelined ceiling run (windowed frames per connection), when
+    /// configured. This is the server's real throughput ceiling — the
+    /// plain closed loop is bounded by its synchronous clients' syscall
+    /// round-trips, not by the server.
+    pub pipelined: Option<RunReport>,
     /// Throughput-ramp steps, when configured.
     pub ramp: Vec<RampPoint>,
     /// Cloud-side telemetry.
@@ -160,6 +180,8 @@ pub struct BenchReport {
     pub pool: Option<PoolCounters>,
     /// Pooled-vs-unpooled comparison, when configured.
     pub comparison: Option<Comparison>,
+    /// Bounded-capacity pass, when configured.
+    pub bounded: Option<BoundedReport>,
 }
 
 impl BenchReport {
@@ -187,6 +209,11 @@ impl BenchReport {
             Some(run) => write_run(&mut w, run),
             None => w.null(),
         }
+        w.key("pipelined");
+        match &self.pipelined {
+            Some(run) => write_run(&mut w, run),
+            None => w.null(),
+        }
         w.key("ramp");
         w.open_array();
         for point in &self.ramp {
@@ -200,29 +227,7 @@ impl BenchReport {
         }
         w.close_array();
         w.key("cluster");
-        w.open();
-        w.num("requests", self.cluster.requests as f64);
-        w.num("local_hits", self.cluster.local_hits as f64);
-        w.num("cloud_hits", self.cluster.cloud_hits as f64);
-        w.num("origin_fetches", self.cluster.origin_fetches as f64);
-        w.num("hit_ratio", self.cluster.hit_ratio);
-        w.num("rpc_retries", self.cluster.rpc_retries as f64);
-        w.num("rpc_errors", self.cluster.rpc_errors as f64);
-        w.num("rpc_timeouts", self.cluster.rpc_timeouts as f64);
-        w.num("beacon_load_cov", self.cluster.beacon_load_cov);
-        w.key("per_node");
-        w.open_array();
-        for node in &self.cluster.per_node {
-            w.array_item();
-            w.open();
-            w.num("node", f64::from(node.node));
-            w.num("requests", node.requests as f64);
-            w.num("resident", node.resident as f64);
-            w.num("beacon_load", node.beacon_load);
-            w.close();
-        }
-        w.close_array();
-        w.close();
+        write_cluster(&mut w, &self.cluster);
         w.key("pool");
         write_pool(&mut w, self.pool.as_ref());
         w.key("comparison");
@@ -235,6 +240,19 @@ impl BenchReport {
                 write_run(&mut w, &cmp.unpooled);
                 w.key("pooled_pool");
                 write_pool(&mut w, cmp.pooled_pool.as_ref());
+                w.close();
+            }
+            None => w.null(),
+        }
+        w.key("bounded");
+        match &self.bounded {
+            Some(b) => {
+                w.open();
+                w.num("capacity_bytes", b.capacity_bytes as f64);
+                w.key("run");
+                write_run(&mut w, &b.run);
+                w.key("cluster");
+                write_cluster(&mut w, &b.cluster);
                 w.close();
             }
             None => w.null(),
@@ -269,6 +287,33 @@ fn write_run(w: &mut JsonWriter, run: &RunReport) {
     write_latency(w, &run.fetch);
     w.key("update");
     write_latency(w, &run.update);
+    w.close();
+}
+
+fn write_cluster(w: &mut JsonWriter, c: &ClusterReport) {
+    w.open();
+    w.num("requests", c.requests as f64);
+    w.num("evictions", c.evictions as f64);
+    w.num("local_hits", c.local_hits as f64);
+    w.num("cloud_hits", c.cloud_hits as f64);
+    w.num("origin_fetches", c.origin_fetches as f64);
+    w.num("hit_ratio", c.hit_ratio);
+    w.num("rpc_retries", c.rpc_retries as f64);
+    w.num("rpc_errors", c.rpc_errors as f64);
+    w.num("rpc_timeouts", c.rpc_timeouts as f64);
+    w.num("beacon_load_cov", c.beacon_load_cov);
+    w.key("per_node");
+    w.open_array();
+    for node in &c.per_node {
+        w.array_item();
+        w.open();
+        w.num("node", f64::from(node.node));
+        w.num("requests", node.requests as f64);
+        w.num("resident", node.resident as f64);
+        w.num("beacon_load", node.beacon_load);
+        w.close();
+    }
+    w.close_array();
     w.close();
 }
 
@@ -460,6 +505,7 @@ mod tests {
             populate_errors: 0,
             open: run("open"),
             closed: Some(run("closed")),
+            pipelined: Some(run("closed/pipelined")),
             ramp: vec![RampPoint {
                 offered_qps: 200.0,
                 achieved_qps: 199.0,
@@ -468,6 +514,7 @@ mod tests {
             }],
             cluster: ClusterReport {
                 requests: 1000,
+                evictions: 0,
                 local_hits: 600,
                 cloud_hits: 300,
                 origin_fetches: 100,
@@ -496,6 +543,23 @@ mod tests {
                     reused: 397,
                     discarded: 0,
                 }),
+            }),
+            bounded: Some(BoundedReport {
+                capacity_bytes: 16 * 1024,
+                run: run("closed/bounded"),
+                cluster: ClusterReport {
+                    requests: 500,
+                    evictions: 40,
+                    local_hits: 200,
+                    cloud_hits: 100,
+                    origin_fetches: 200,
+                    hit_ratio: 0.6,
+                    rpc_retries: 0,
+                    rpc_errors: 0,
+                    rpc_timeouts: 0,
+                    beacon_load_cov: 0.3,
+                    per_node: Vec::new(),
+                },
             }),
         }
     }
@@ -555,6 +619,10 @@ mod tests {
             "\"pooled\"",
             "\"unpooled\"",
             "\"reused\"",
+            "\"bounded\"",
+            "\"pipelined\"",
+            "\"capacity_bytes\"",
+            "\"evictions\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -564,14 +632,18 @@ mod tests {
     fn optional_sections_render_as_null() {
         let mut r = report();
         r.closed = None;
+        r.pipelined = None;
         r.pool = None;
         r.comparison = None;
+        r.bounded = None;
         r.ramp.clear();
         let json = r.to_json();
         check_json(&json);
         assert!(json.contains("\"closed\": null"));
+        assert!(json.contains("\"pipelined\": null"));
         assert!(json.contains("\"pool\": null"));
         assert!(json.contains("\"comparison\": null"));
+        assert!(json.contains("\"bounded\": null"));
         assert!(json.contains("\"ramp\": []"));
     }
 

@@ -18,6 +18,9 @@ fn tiny() -> BenchConfig {
         compare_ops: 120,
         ramp: vec![200.0],
         body_cap: 512,
+        bounded_capacity: 2 * 1024,
+        bounded_ops: 150,
+        pipeline_depth: 8,
     }
 }
 
@@ -48,6 +51,18 @@ fn tiny_bench_produces_a_sane_report() {
     assert!(closed.measured_ops > 0);
     assert_eq!(closed.errors, 0);
 
+    // The pipelined ceiling pass: every fetch answered, none lost, and
+    // the windowed pipeline beats one-in-flight throughput.
+    let pipelined = report.pipelined.as_ref().expect("pipelined pass");
+    assert!(pipelined.measured_ops > 0);
+    assert_eq!(pipelined.errors, 0, "pipelined pass must not error");
+    assert!(
+        pipelined.achieved_qps > closed.achieved_qps,
+        "pipelining ({:.0} qps) should beat one-in-flight ({:.0} qps)",
+        pipelined.achieved_qps,
+        closed.achieved_qps
+    );
+
     // Cluster-side accounting reconciles with the paper's identity.
     let cluster = &report.cluster;
     assert!(cluster.requests > 0);
@@ -72,6 +87,22 @@ fn tiny_bench_produces_a_sane_report() {
 
     assert_eq!(report.ramp.len(), 1);
     assert!(report.ramp[0].achieved_qps > 0.0);
+
+    // The bounded pass actually hit capacity pressure: copies were
+    // evicted and not every request could be answered from cache.
+    let bounded = report.bounded.as_ref().expect("bounded pass ran");
+    assert_eq!(bounded.capacity_bytes, 2 * 1024);
+    assert!(bounded.cluster.evictions > 0, "cap must force evictions");
+    assert!(
+        bounded.cluster.hit_ratio < 1.0,
+        "hit ratio {} should drop under eviction pressure",
+        bounded.cluster.hit_ratio
+    );
+    assert_eq!(
+        bounded.cluster.requests,
+        bounded.cluster.local_hits + bounded.cluster.cloud_hits + bounded.cluster.origin_fetches,
+        "the accounting identity holds under eviction pressure too"
+    );
 
     // And the whole thing renders as JSON with the headline fields.
     let json = report.to_json();

@@ -96,11 +96,14 @@ pub enum EventKind {
     /// A beacon lookup failed over to another member of the beacon's ring
     /// (cluster only).
     BeaconFailover,
+    /// An inbound connection failed to be accepted — a failed `accept`
+    /// call or fd exhaustion at the listener (cluster only).
+    AcceptError,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 24] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::Request,
         EventKind::LocalHit,
         EventKind::CloudHit,
@@ -125,6 +128,7 @@ impl EventKind {
         EventKind::RpcTimeout,
         EventKind::OriginFallback,
         EventKind::BeaconFailover,
+        EventKind::AcceptError,
     ];
 
     /// Stable snake_case name, used as the counter key in a [`Registry`],
@@ -156,6 +160,7 @@ impl EventKind {
             EventKind::RpcTimeout => "rpc_timeouts",
             EventKind::OriginFallback => "origin_fallbacks",
             EventKind::BeaconFailover => "beacon_failovers",
+            EventKind::AcceptError => "accept_errors",
         }
     }
 }
