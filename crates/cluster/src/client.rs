@@ -355,21 +355,27 @@ impl CloudClient {
     ///    (nodes push migrated directory records to their new owners);
     /// 4. adopts the new table locally.
     ///
-    /// Returns the new table version.
+    /// Returns a [`RebalanceReport`]: the new table version plus what the
+    /// cycle measured — the per-node beacon load it drained (the load
+    /// distribution *before* this rebalance took effect) and how many
+    /// sub-range boundaries moved.
     ///
     /// # Errors
     ///
     /// Propagates transport and protocol errors from any node.
-    pub fn rebalance(&self) -> Result<u64, CacheCloudError> {
+    pub fn rebalance(&self) -> Result<RebalanceReport, CacheCloudError> {
         self.refresh_table()?;
         let current = self.table.read().clone();
 
-        // 1. Collect the cloud-wide per-(ring, IrH) loads.
+        // 1. Collect the cloud-wide per-(ring, IrH) loads, remembering how
+        // much each node drained (its beacon load over the ending cycle).
         let mut loads: std::collections::HashMap<(u32, u64), f64> =
             std::collections::HashMap::new();
+        let mut node_loads = vec![0.0; self.peers.len()];
         for node in 0..self.peers.len() as u32 {
             for (ring, irh, load) in self.load_ledger(node)? {
                 *loads.entry((ring, irh)).or_insert(0.0) += load;
+                node_loads[node as usize] += load;
             }
         }
 
@@ -422,10 +428,52 @@ impl CloudClient {
         }
 
         // 4. Adopt locally.
+        let moved_ranges = current
+            .rings
+            .iter()
+            .zip(&new_table.rings)
+            .flat_map(|(old, new)| old.iter().zip(new))
+            .filter(|(o, n)| o.lo != n.lo || o.hi != n.hi)
+            .count();
         let version = new_table.version;
         *self.table.write() = new_table;
-        Ok(version)
+        Ok(RebalanceReport {
+            version,
+            cov_before: coefficient_of_variation(&node_loads),
+            node_loads,
+            moved_ranges,
+        })
     }
+}
+
+/// What one [`CloudClient::rebalance`] cycle measured and changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceReport {
+    /// The newly installed routing-table version.
+    pub version: u64,
+    /// Per-node beacon load drained by this cycle, indexed by node id —
+    /// the load distribution the ending cycle actually saw, i.e. *before*
+    /// this rebalance took effect.
+    pub node_loads: Vec<f64>,
+    /// Coefficient of variation of [`RebalanceReport::node_loads`]: the
+    /// beacon-load imbalance this cycle measured (0 = perfectly even).
+    pub cov_before: f64,
+    /// How many sub-range boundaries the new table moved.
+    pub moved_ranges: usize,
+}
+
+/// Population coefficient of variation (σ/μ); 0 for an empty or zero-mean
+/// sample.
+fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() / mean
 }
 
 fn expect_ok(resp: Response) -> Result<(), CacheCloudError> {

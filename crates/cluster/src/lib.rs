@@ -50,7 +50,7 @@ pub mod wire;
 
 pub use cachecloud_metrics::telemetry::{Event, EventKind, EventSink, NodeStats};
 pub use chaos::{ChaosProfile, FaultKind, FaultyListener};
-pub use client::CloudClient;
+pub use client::{CloudClient, RebalanceReport};
 pub use cluster::LocalCluster;
 pub use conn::{Connection, ConnectionPool, PoolStats};
 pub use node::{CacheNode, NodeConfig};

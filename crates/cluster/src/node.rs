@@ -112,6 +112,8 @@ struct NodeTelemetry {
     evictions: Counter,
     registrations: Counter,
     unregistrations: Counter,
+    unregister_failures: Counter,
+    directory_reroutes: Counter,
     updates_propagated: Counter,
     updates_skipped: Counter,
     update_deliveries: Counter,
@@ -148,6 +150,8 @@ impl NodeTelemetry {
             evictions: c(EventKind::Eviction),
             registrations: c(EventKind::Registration),
             unregistrations: c(EventKind::Unregistration),
+            unregister_failures: c(EventKind::UnregisterFailure),
+            directory_reroutes: c(EventKind::DirectoryReroute),
             updates_propagated: c(EventKind::UpdatePropagated),
             updates_skipped: c(EventKind::UpdateSkipped),
             update_deliveries: c(EventKind::UpdateDelivery),
@@ -364,8 +368,12 @@ impl Drop for CacheNode {
 /// the shard. `Serve` gets a shard-side local-hit fast path (under a
 /// warm cache that is the dominant exchange, and it skips the dispatch
 /// round-trip entirely); misses and all mutating fan-out requests go to
-/// the worker lanes: `Put` on the `Store` lane (it only ever waits on
-/// fast beacon registrations), everything else on the `Serve` lane.
+/// the worker lanes: `Put` on the `Store` lane, everything else on the
+/// `Serve` lane. A `Put`'s directory fan-out normally lands on peer
+/// shards inline; only when a racing rebalance makes the request stale
+/// does it hop through a peer's `Serve` lane, and such forwarding chains
+/// carry strictly increasing table versions, so `Store` workers never
+/// wait on another `Store` lane and chains terminate.
 struct NodeService {
     state: Arc<State>,
     config: NodeConfig,
@@ -418,6 +426,20 @@ impl Service for NodeService {
             }
             Request::Update { .. } | Request::SetRanges { .. } => {
                 Inline::Dispatch(Lane::Serve, req)
+            }
+            Request::Register { .. }
+            | Request::Unregister { .. }
+            | Request::RegisterBatch { .. }
+            | Request::UnregisterBatch { .. } => {
+                // Directory traffic is normally answered inline, but a
+                // request routed with a stale table for a range this node
+                // no longer owns is forwarded to the current beacon — a
+                // peer RPC that must not block the shard.
+                if directory_misroute(&req, &self.state, self.config.id) {
+                    Inline::Dispatch(Lane::Serve, req)
+                } else {
+                    Inline::Done(handle(req, &self.state, &self.config))
+                }
             }
             fast => Inline::Done(handle(fast, &self.state, &self.config)),
         }
@@ -474,34 +496,47 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
                 },
             }
         }
-        Request::Register { url, holder } => {
-            state.telemetry.registrations.inc();
-            state
-                .telemetry
-                .emit(config.id, EventKind::Registration, Some(&url));
-            state
-                .directory
-                .lock()
-                .entry(url)
-                .or_default()
-                .holders
-                .insert(holder);
-            Response::Ok
-        }
-        Request::Unregister { url, holder } => {
-            state.telemetry.unregistrations.inc();
-            state
-                .telemetry
-                .emit(config.id, EventKind::Unregistration, Some(&url));
-            let mut dir = state.directory.lock();
-            if let Some(entry) = dir.get_mut(&url) {
-                entry.holders.remove(&holder);
-                if entry.holders.is_empty() {
-                    dir.remove(&url);
-                }
-            }
-            Response::Ok
-        }
+        Request::Register {
+            url,
+            holder,
+            table_version,
+        } => apply_directory(
+            state,
+            config,
+            vec![url],
+            holder,
+            table_version,
+            DirOp::Register,
+        ),
+        Request::Unregister {
+            url,
+            holder,
+            table_version,
+        } => apply_directory(
+            state,
+            config,
+            vec![url],
+            holder,
+            table_version,
+            DirOp::Unregister,
+        ),
+        Request::RegisterBatch {
+            urls,
+            holder,
+            table_version,
+        } => apply_directory(state, config, urls, holder, table_version, DirOp::Register),
+        Request::UnregisterBatch {
+            urls,
+            holder,
+            table_version,
+        } => apply_directory(
+            state,
+            config,
+            urls,
+            holder,
+            table_version,
+            DirOp::Unregister,
+        ),
         Request::Get { url } => match state.bodies.lock().get(&url) {
             Some(body) => Response::Document {
                 version: body.version,
@@ -632,6 +667,147 @@ fn handle(req: Request, state: &State, config: &NodeConfig) -> Response {
     }
 }
 
+/// Which directory mutation a (possibly batched) request carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirOp {
+    Register,
+    Unregister,
+}
+
+/// True when a directory request was routed with a stale table and targets
+/// a URL this node no longer owns: handling it would mean a forwarding RPC,
+/// which must not run inline on a reactor shard.
+fn directory_misroute(req: &Request, state: &State, me: u32) -> bool {
+    match req {
+        Request::Register {
+            url, table_version, ..
+        }
+        | Request::Unregister {
+            url, table_version, ..
+        } => {
+            let t = state.table.read();
+            *table_version < t.version && t.beacon_of_url(url) != me
+        }
+        Request::RegisterBatch {
+            urls,
+            table_version,
+            ..
+        }
+        | Request::UnregisterBatch {
+            urls,
+            table_version,
+            ..
+        } => {
+            let t = state.table.read();
+            *table_version < t.version && urls.iter().any(|u| t.beacon_of_url(u) != me)
+        }
+        _ => false,
+    }
+}
+
+fn register_locally(state: &State, config: &NodeConfig, url: String, holder: u32) {
+    state.telemetry.registrations.inc();
+    state
+        .telemetry
+        .emit(config.id, EventKind::Registration, Some(&url));
+    state
+        .directory
+        .lock()
+        .entry(url)
+        .or_default()
+        .holders
+        .insert(holder);
+}
+
+fn unregister_locally(state: &State, config: &NodeConfig, url: &str, holder: u32) {
+    state.telemetry.unregistrations.inc();
+    state
+        .telemetry
+        .emit(config.id, EventKind::Unregistration, Some(url));
+    let mut dir = state.directory.lock();
+    if let Some(entry) = dir.get_mut(url) {
+        entry.holders.remove(&holder);
+        if entry.holders.is_empty() {
+            dir.remove(url);
+        }
+    }
+}
+
+/// Applies a (possibly batched) directory request. URLs this node owns
+/// under its current table — or that arrive stamped with a table version
+/// at least as new as its own — are applied locally. The rest were routed
+/// with a stale table: applying them would strand the record on a node
+/// that is no longer the beacon, so they are forwarded to the current
+/// owner instead, re-stamped with this node's (strictly newer) table
+/// version. Versions along a forwarding chain strictly increase, so
+/// chains terminate even while a rebalance is propagating.
+fn apply_directory(
+    state: &State,
+    config: &NodeConfig,
+    urls: Vec<String>,
+    holder: u32,
+    table_version: u64,
+    op: DirOp,
+) -> Response {
+    let mut local = Vec::new();
+    let mut forward: HashMap<u32, Vec<String>> = HashMap::new();
+    let current = {
+        let t = state.table.read();
+        let stale = table_version < t.version;
+        for url in urls {
+            let owner = t.beacon_of_url(&url);
+            if stale && owner != config.id {
+                forward.entry(owner).or_default().push(url);
+            } else {
+                local.push(url);
+            }
+        }
+        t.version
+    };
+    for url in local {
+        match op {
+            DirOp::Register => register_locally(state, config, url, holder),
+            DirOp::Unregister => unregister_locally(state, config, &url, holder),
+        }
+    }
+    let mut failed = 0u64;
+    for (owner, batch) in forward {
+        let n = batch.len() as u64;
+        state.telemetry.directory_reroutes.add(n);
+        state.telemetry.emit(
+            config.id,
+            EventKind::DirectoryReroute,
+            batch.first().map(String::as_str),
+        );
+        let req = match op {
+            DirOp::Register => Request::RegisterBatch {
+                urls: batch,
+                holder,
+                table_version: current,
+            },
+            DirOp::Unregister => Request::UnregisterBatch {
+                urls: batch,
+                holder,
+                table_version: current,
+            },
+        };
+        let ok = match config.peers.get(owner as usize) {
+            Some(addr) => matches!(state.rpc(*addr, &req), Ok(Response::Ok)),
+            None => false,
+        };
+        if !ok {
+            failed += n;
+        }
+    }
+    if failed == 0 {
+        Response::Ok
+    } else {
+        Response::Error {
+            message: format!("{failed} re-routed directory record(s) not applied"),
+        }
+    }
+}
+
 /// Stores a body locally, maintaining the metadata store and deregistering
 /// evicted documents at their beacons.
 fn put_local(
@@ -672,21 +848,56 @@ fn put_local(
     state
         .telemetry
         .emit(config.id, EventKind::Store, Some(&url));
-    // Deregister evicted copies at their beacon points.
-    for victim in evicted {
-        state.telemetry.evictions.inc();
-        state
-            .telemetry
-            .emit(config.id, EventKind::Eviction, Some(victim.url()));
-        let b = state.beacon_of(victim.url());
-        let req = Request::Unregister {
-            url: victim.url().to_owned(),
+    // Deregister evicted copies at their beacon points — grouped by
+    // beacon, one batched RPC per (beacon, store) instead of one per
+    // victim. Every failed deregistration (RPC failure after retries, an
+    // Error response, or a beacon with no known address) leaves a stale
+    // holder entry behind that update fan-out would keep delivering to,
+    // so each one is counted under `unregister_failures`; the self-beacon
+    // branch inspects its inline response the same way, keeping local and
+    // remote deregistration observably symmetric.
+    let mut by_beacon: HashMap<u32, Vec<String>> = HashMap::new();
+    let table_version = {
+        let t = state.table.read();
+        for victim in &evicted {
+            state.telemetry.evictions.inc();
+            state
+                .telemetry
+                .emit(config.id, EventKind::Eviction, Some(victim.url()));
+            by_beacon
+                .entry(t.beacon_of_url(victim.url()))
+                .or_default()
+                .push(victim.url().to_owned());
+        }
+        t.version
+    };
+    for (b, victims) in by_beacon {
+        let n = victims.len() as u64;
+        let first = victims.first().cloned();
+        let req = Request::UnregisterBatch {
+            urls: victims,
             holder: config.id,
+            table_version,
         };
-        if b == config.id {
-            let _ = handle(req, state, config);
+        let outcome = if b == config.id {
+            handle(req, state, config)
         } else if let Some(addr) = config.peers.get(b as usize) {
-            let _ = state.rpc(*addr, &req);
+            match state.rpc(*addr, &req) {
+                Ok(resp) => resp,
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        } else {
+            Response::Error {
+                message: "beacon address unknown".into(),
+            }
+        };
+        if !matches!(outcome, Response::Ok) {
+            state.telemetry.unregister_failures.add(n);
+            state
+                .telemetry
+                .emit(config.id, EventKind::UnregisterFailure, first.as_deref());
         }
     }
     // Register this copy at the document's beacon — unless we were already
@@ -696,10 +907,14 @@ fn put_local(
     if already_held {
         return Response::Ok;
     }
-    let b = state.beacon_of(&url);
+    let (b, table_version) = {
+        let t = state.table.read();
+        (t.beacon_of_url(&url), t.version)
+    };
     let reg = Request::Register {
         url,
         holder: config.id,
+        table_version,
     };
     if b == config.id {
         handle(reg, state, config)

@@ -29,6 +29,10 @@ pub enum Request {
         url: String,
         /// Node that now holds a copy.
         holder: u32,
+        /// The sender's routing-table version. A receiver that is not the
+        /// URL's beacon under a *newer* table re-routes the registration
+        /// instead of applying it (the sender routed with a stale table).
+        table_version: u64,
     },
     /// Beacon-point deregistration (copy evicted or dropped).
     Unregister {
@@ -36,6 +40,8 @@ pub enum Request {
         url: String,
         /// Node that dropped its copy.
         holder: u32,
+        /// The sender's routing-table version (see [`Request::Register`]).
+        table_version: u64,
     },
     /// Fetch a document from this node's local store only.
     Get {
@@ -87,6 +93,27 @@ pub enum Request {
         version: u64,
         /// Registered holders of the document.
         holders: Vec<u32>,
+    },
+    /// Batched beacon-point registration: one RPC registers `holder` for
+    /// every URL in the batch (all routed to the same beacon).
+    RegisterBatch {
+        /// Document URLs.
+        urls: Vec<String>,
+        /// Node that now holds a copy of each document.
+        holder: u32,
+        /// The sender's routing-table version (see [`Request::Register`]).
+        table_version: u64,
+    },
+    /// Batched beacon-point deregistration — the eviction path groups its
+    /// victims by beacon and sends one of these per peer instead of one
+    /// [`Request::Unregister`] per victim.
+    UnregisterBatch {
+        /// Document URLs.
+        urls: Vec<String>,
+        /// Node that dropped its copy of each document.
+        holder: u32,
+        /// The sender's routing-table version (see [`Request::Register`]).
+        table_version: u64,
     },
 }
 
@@ -222,6 +249,26 @@ fn take_histogram(buf: &mut Bytes) -> Result<HistogramSnapshot, CacheCloudError>
     })
 }
 
+fn put_url_batch<B: BufMut>(buf: &mut B, urls: &[String], holder: u32, table_version: u64) {
+    buf.put_u32(holder);
+    buf.put_u64(table_version);
+    buf.put_u32(urls.len() as u32);
+    for url in urls {
+        put_str(buf, url);
+    }
+}
+
+fn take_url_batch(buf: &mut Bytes) -> Result<(Vec<String>, u32, u64), CacheCloudError> {
+    let holder = take_u32(buf)?;
+    let table_version = take_u64(buf)?;
+    let n = checked_len(take_u32(buf)? as usize, 4, "url batch")?;
+    let mut urls = Vec::with_capacity(n);
+    for _ in 0..n {
+        urls.push(take_str(buf)?);
+    }
+    Ok((urls, holder, table_version))
+}
+
 fn put_node_stats<B: BufMut>(buf: &mut B, s: &NodeStats) {
     buf.put_u32(s.node);
     buf.put_u64(s.resident);
@@ -283,15 +330,25 @@ impl Request {
                 b.put_u8(1);
                 put_str(b, url);
             }
-            Request::Register { url, holder } => {
+            Request::Register {
+                url,
+                holder,
+                table_version,
+            } => {
                 b.put_u8(2);
                 put_str(b, url);
                 b.put_u32(*holder);
+                b.put_u64(*table_version);
             }
-            Request::Unregister { url, holder } => {
+            Request::Unregister {
+                url,
+                holder,
+                table_version,
+            } => {
                 b.put_u8(3);
                 put_str(b, url);
                 b.put_u32(*holder);
+                b.put_u64(*table_version);
             }
             Request::Get { url } => {
                 b.put_u8(4);
@@ -333,6 +390,22 @@ impl Request {
                     b.put_u32(*h);
                 }
             }
+            Request::RegisterBatch {
+                urls,
+                holder,
+                table_version,
+            } => {
+                b.put_u8(13);
+                put_url_batch(b, urls, *holder, *table_version);
+            }
+            Request::UnregisterBatch {
+                urls,
+                holder,
+                table_version,
+            } => {
+                b.put_u8(14);
+                put_url_batch(b, urls, *holder, *table_version);
+            }
         }
     }
 
@@ -355,10 +428,12 @@ impl Request {
             2 => Request::Register {
                 url: take_str(&mut buf)?,
                 holder: take_u32(&mut buf)?,
+                table_version: take_u64(&mut buf)?,
             },
             3 => Request::Unregister {
                 url: take_str(&mut buf)?,
                 holder: take_u32(&mut buf)?,
+                table_version: take_u64(&mut buf)?,
             },
             4 => Request::Get {
                 url: take_str(&mut buf)?,
@@ -397,6 +472,22 @@ impl Request {
                     url,
                     version,
                     holders,
+                }
+            }
+            13 => {
+                let (urls, holder, table_version) = take_url_batch(&mut buf)?;
+                Request::RegisterBatch {
+                    urls,
+                    holder,
+                    table_version,
+                }
+            }
+            14 => {
+                let (urls, holder, table_version) = take_url_batch(&mut buf)?;
+                Request::UnregisterBatch {
+                    urls,
+                    holder,
+                    table_version,
                 }
             }
             t => {
@@ -809,10 +900,12 @@ mod tests {
         roundtrip_request(Request::Register {
             url: "/a".into(),
             holder: 7,
+            table_version: 3,
         });
         roundtrip_request(Request::Unregister {
             url: "/δ/unicode".into(),
             holder: 0,
+            table_version: u64::MAX,
         });
         roundtrip_request(Request::Get { url: String::new() });
         roundtrip_request(Request::Serve { url: "/s".into() });
@@ -837,6 +930,75 @@ mod tests {
             version: 42,
             holders: vec![0, 3, 1],
         });
+        roundtrip_request(Request::RegisterBatch {
+            urls: vec!["/a".into(), "/δ/unicode".into(), String::new()],
+            holder: 2,
+            table_version: 17,
+        });
+        roundtrip_request(Request::RegisterBatch {
+            urls: vec![],
+            holder: 0,
+            table_version: 0,
+        });
+        roundtrip_request(Request::UnregisterBatch {
+            urls: vec!["/victim-1".into(), "/victim-2".into()],
+            holder: u32::MAX,
+            table_version: 9,
+        });
+        roundtrip_request(Request::UnregisterBatch {
+            urls: vec![String::new()],
+            holder: 1,
+            table_version: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn batch_decode_rejects_truncation_and_garbage() {
+        let full = Request::UnregisterBatch {
+            urls: vec!["/a".into(), "/bb".into(), "/ccc".into()],
+            holder: 3,
+            table_version: 12,
+        }
+        .encode();
+        // Every strict prefix must be rejected, never panic or mis-decode.
+        for cut in 1..full.len() {
+            assert!(
+                Request::decode(full.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage after a complete batch body.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&full);
+        buf.put_u8(0xEE);
+        assert!(Request::decode(buf.freeze()).is_err());
+        // A hostile URL count must not force a huge allocation.
+        for tag in [13u8, 14] {
+            let mut buf = BytesMut::new();
+            buf.put_u8(tag);
+            buf.put_u32(1); // holder
+            buf.put_u64(2); // table_version
+            buf.put_u32(u32::MAX); // url count
+            assert!(Request::decode(buf.freeze()).is_err());
+        }
+        // Invalid UTF-8 inside a batched URL.
+        let mut buf = BytesMut::new();
+        buf.put_u8(13);
+        buf.put_u32(1);
+        buf.put_u64(2);
+        buf.put_u32(1);
+        buf.put_u32(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(Request::decode(buf.freeze()).is_err());
+        // Sanity: the untouched encoding still decodes, and RegisterBatch
+        // shares the layout under its own tag.
+        assert!(Request::decode(full).is_ok());
+        let reg = Request::RegisterBatch {
+            urls: vec!["/a".into()],
+            holder: 3,
+            table_version: 12,
+        };
+        assert_eq!(Request::decode(reg.encode()).unwrap(), reg);
     }
 
     #[test]

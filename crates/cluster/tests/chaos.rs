@@ -413,7 +413,7 @@ fn beacon_death_mid_rebalance_keeps_directory_consistent() -> Result<(), CacheCl
     // still consistent: every document resolves through every node with
     // the right body.
     cloud.proxies[1].set_down(false);
-    let version = client.rebalance()?;
+    let version = client.rebalance()?.version;
     assert!(version >= 1, "table version bumped");
     assert_eq!(client.refresh_table()?, version, "cloud converged");
     for (i, url) in urls.iter().enumerate() {

@@ -1,0 +1,266 @@
+//! Directory-protocol integration tests: batched registration must be
+//! indistinguishable from singles, eviction deregistration must leave no
+//! stale holder entries, and directory requests stamped with a stale
+//! routing table must land at the *current* beacon, not wherever the
+//! sender thought the beacon was.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use cachecloud_cluster::{Connection, LocalCluster, Request, Response};
+use cachecloud_types::ByteSize;
+
+const TIMEOUT: Option<Duration> = Some(Duration::from_secs(5));
+
+fn call(addr: SocketAddr, req: &Request) -> Response {
+    let mut conn = Connection::connect(addr, TIMEOUT).expect("connect");
+    conn.call(req, TIMEOUT).expect("rpc")
+}
+
+fn holders_at(addr: SocketAddr, url: &str) -> Vec<u32> {
+    match call(
+        addr,
+        &Request::Lookup {
+            url: url.to_owned(),
+        },
+    ) {
+        Response::Holders { holders, .. } => holders,
+        other => panic!("lookup returned {other:?}"),
+    }
+}
+
+/// Applying one `RegisterBatch`/`UnregisterBatch` per beacon must leave
+/// the directory in exactly the state that per-URL singles produce.
+#[test]
+fn batched_and_single_directory_ops_converge() {
+    let batched = LocalCluster::spawn(4).unwrap();
+    let singles = LocalCluster::spawn(4).unwrap();
+    let client = batched.client();
+    let holder = 3u32;
+    let version = client.table_version();
+
+    let urls: Vec<String> = (0..32).map(|i| format!("/dir/{i}")).collect();
+    let mut by_beacon: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for url in &urls {
+        by_beacon
+            .entry(client.beacon_of(url))
+            .or_default()
+            .push(url.clone());
+    }
+    assert!(by_beacon.len() > 1, "urls must spread over several beacons");
+
+    for (beacon, group) in &by_beacon {
+        let addr = batched.peers()[*beacon as usize];
+        let resp = call(
+            addr,
+            &Request::RegisterBatch {
+                urls: group.clone(),
+                holder,
+                table_version: version,
+            },
+        );
+        assert!(matches!(resp, Response::Ok), "batch register: {resp:?}");
+        for url in group {
+            let addr = singles.peers()[*beacon as usize];
+            let resp = call(
+                addr,
+                &Request::Register {
+                    url: url.clone(),
+                    holder,
+                    table_version: version,
+                },
+            );
+            assert!(matches!(resp, Response::Ok), "single register: {resp:?}");
+        }
+    }
+
+    for url in &urls {
+        let beacon = client.beacon_of(url) as usize;
+        assert_eq!(
+            holders_at(batched.peers()[beacon], url),
+            holders_at(singles.peers()[beacon], url),
+            "registered holders diverge for {url}"
+        );
+    }
+    for node in 0..4 {
+        let a = batched.client().stats(node).unwrap().directory_records;
+        let b = singles.client().stats(node).unwrap().directory_records;
+        assert_eq!(a, b, "directory size diverges on node {node}");
+    }
+
+    // And back out again: one UnregisterBatch per beacon vs singles.
+    for (beacon, group) in &by_beacon {
+        let resp = call(
+            batched.peers()[*beacon as usize],
+            &Request::UnregisterBatch {
+                urls: group.clone(),
+                holder,
+                table_version: version,
+            },
+        );
+        assert!(matches!(resp, Response::Ok), "batch unregister: {resp:?}");
+        for url in group {
+            let resp = call(
+                singles.peers()[*beacon as usize],
+                &Request::Unregister {
+                    url: url.clone(),
+                    holder,
+                    table_version: version,
+                },
+            );
+            assert!(matches!(resp, Response::Ok), "single unregister: {resp:?}");
+        }
+    }
+    for node in 0..4 {
+        let a = batched.client().stats(node).unwrap().directory_records;
+        let b = singles.client().stats(node).unwrap().directory_records;
+        assert_eq!(a, b, "post-unregister directory diverges on node {node}");
+        assert_eq!(a, 0, "all records were deregistered");
+    }
+
+    batched.shutdown();
+    singles.shutdown();
+}
+
+/// Under eviction pressure every listed holder must actually hold a copy:
+/// the eviction path's batched deregistrations may not strand stale
+/// holder entries, and on a fault-free loopback run every one of them
+/// must be confirmed.
+#[test]
+fn evictions_leave_no_stale_holder_entries() {
+    let cluster = LocalCluster::spawn_with_capacity(4, ByteSize::from_bytes(2 * 1024)).unwrap();
+    let client = cluster.client();
+
+    // Far more bytes than fit: every node is forced to evict.
+    let urls: Vec<String> = (0..96).map(|i| format!("/evict/{i}")).collect();
+    for url in &urls {
+        client.publish(url, vec![0xEE; 256], 1).unwrap();
+    }
+
+    let cloud = cluster.cloud_stats().unwrap();
+    assert!(cloud.counter("evictions") > 0, "capacity must bite");
+    assert_eq!(
+        cloud.counter("unregister_failures"),
+        0,
+        "fault-free run must confirm every eviction deregistration"
+    );
+
+    for url in &urls {
+        let beacon = client.beacon_of(url) as usize;
+        for holder in holders_at(cluster.peers()[beacon], url) {
+            let resp = call(
+                cluster.peers()[holder as usize],
+                &Request::Get { url: url.clone() },
+            );
+            assert!(
+                matches!(resp, Response::Document { .. }),
+                "{url}: node {holder} is listed as a holder but has no copy"
+            );
+        }
+    }
+    cluster.shutdown();
+}
+
+/// A `Register` stamped with a routing table older than the receiver's
+/// must be re-routed to the current beacon instead of applied in place —
+/// the regression where a rebalance racing a store strands the new copy's
+/// record on the old beacon.
+#[test]
+fn stale_register_is_rerouted_to_the_current_beacon() {
+    let cluster = LocalCluster::spawn(4).unwrap();
+    let client = cluster.client();
+    assert_eq!(client.table_version(), 0);
+
+    // Make node 0's sub-range update-hot so the rebalance moves part of it.
+    let hot: Vec<String> = (0..4000)
+        .map(|i| format!("/stale/{i}"))
+        .filter(|u| client.beacon_of(u) == 0)
+        .take(40)
+        .collect();
+    for u in &hot {
+        client.publish(u, b"v1".to_vec(), 1).unwrap();
+    }
+    for round in 0..20u64 {
+        for u in &hot {
+            client.update(u, b"vN".to_vec(), 2 + round).unwrap();
+        }
+    }
+    let old_beacons: BTreeMap<String, u32> = hot
+        .iter()
+        .map(|u| (u.clone(), client.beacon_of(u)))
+        .collect();
+    let report = client.rebalance().unwrap();
+    assert_eq!(report.version, 1);
+    client.refresh_table().unwrap();
+
+    let moved: Vec<String> = hot
+        .iter()
+        .filter(|u| client.beacon_of(u) != old_beacons[*u])
+        .cloned()
+        .collect();
+    assert!(!moved.is_empty(), "the rebalance must move some records");
+
+    // A store that raced the rebalance: it registers at what its stale
+    // table said was the beacon, stamped with the old table version.
+    let url = &moved[0];
+    let old_beacon = old_beacons[url];
+    let new_beacon = client.beacon_of(url);
+    let resp = call(
+        cluster.peers()[old_beacon as usize],
+        &Request::Register {
+            url: url.clone(),
+            holder: 2,
+            table_version: 0,
+        },
+    );
+    assert!(
+        matches!(resp, Response::Ok),
+        "re-route must succeed: {resp:?}"
+    );
+    assert!(
+        holders_at(cluster.peers()[new_beacon as usize], url).contains(&2),
+        "the registration must land at the current beacon"
+    );
+    assert!(
+        !holders_at(cluster.peers()[old_beacon as usize], url).contains(&2),
+        "the old beacon must not keep the stranded record"
+    );
+    let reroutes: u64 = (0..4)
+        .map(|n| client.stats(n).unwrap().counter("directory_reroutes"))
+        .sum();
+    assert!(reroutes > 0, "the re-route must be counted");
+
+    // The same stale stamp on a batch: every moved record still lands at
+    // its current beacon.
+    let resp = call(
+        cluster.peers()[old_beacon as usize],
+        &Request::RegisterBatch {
+            urls: moved.clone(),
+            holder: 3,
+            table_version: 0,
+        },
+    );
+    assert!(matches!(resp, Response::Ok), "batch re-route: {resp:?}");
+    for url in &moved {
+        let beacon = client.beacon_of(url) as usize;
+        assert!(
+            holders_at(cluster.peers()[beacon], url).contains(&3),
+            "{url}: batched stale registration must reach the current beacon"
+        );
+    }
+
+    // A *current* stamp at the current beacon still applies in place.
+    let resp = call(
+        cluster.peers()[new_beacon as usize],
+        &Request::Register {
+            url: url.clone(),
+            holder: 1,
+            table_version: report.version,
+        },
+    );
+    assert!(matches!(resp, Response::Ok));
+    assert!(holders_at(cluster.peers()[new_beacon as usize], url).contains(&1));
+
+    cluster.shutdown();
+}

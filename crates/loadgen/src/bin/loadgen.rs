@@ -10,6 +10,8 @@
 //!         [--bounded-capacity BYTES] [--bounded-ops N]
 //!         [--pipeline-depth N] [--min-closed-qps Q]
 //!         [--min-pipelined-qps Q]
+//!         [--hotspot-ops N] [--hotspot-qps Q] [--hot-docs N]
+//!         [--hot-fraction F] [--sweep Q1,Q2,...] [--sweep-ops N]
 //! ```
 //!
 //! `--smoke` selects the small CI preset and exits non-zero unless the
@@ -27,7 +29,8 @@ fn usage() -> ! {
          [--warmup-frac F] [--no-closed] [--think-ms MS] [--compare-ops N] \
          [--ramp Q1,Q2,...] [--body-cap BYTES] [--bounded-capacity BYTES] \
          [--bounded-ops N] [--pipeline-depth N] [--min-closed-qps Q] \
-         [--min-pipelined-qps Q]"
+         [--min-pipelined-qps Q] [--hotspot-ops N] [--hotspot-qps Q] \
+         [--hot-docs N] [--hot-fraction F] [--sweep Q1,Q2,...] [--sweep-ops N]"
     );
     std::process::exit(2);
 }
@@ -106,6 +109,27 @@ fn parse_args() -> (BenchConfig, String, bool, f64, f64) {
                     .map(|s| parse(s.trim(), "--ramp"))
                     .collect();
             }
+            "--hotspot-ops" => {
+                config.hotspot_ops = parse(&value(&mut args, "--hotspot-ops"), "--hotspot-ops");
+            }
+            "--hotspot-qps" => {
+                config.hotspot_qps = parse(&value(&mut args, "--hotspot-qps"), "--hotspot-qps");
+            }
+            "--hot-docs" => config.hot_docs = parse(&value(&mut args, "--hot-docs"), "--hot-docs"),
+            "--hot-fraction" => {
+                config.hot_fraction = parse(&value(&mut args, "--hot-fraction"), "--hot-fraction");
+            }
+            "--sweep" => {
+                let raw = value(&mut args, "--sweep");
+                config.sweep = raw
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse(s.trim(), "--sweep"))
+                    .collect();
+            }
+            "--sweep-ops" => {
+                config.sweep_ops = parse(&value(&mut args, "--sweep-ops"), "--sweep-ops");
+            }
             "--workload" => {
                 config.workload = match value(&mut args, "--workload").as_str() {
                     "zipf" => WorkloadKind::Zipf,
@@ -178,6 +202,21 @@ fn main() -> ExitCode {
             b.capacity_bytes, b.cluster.evictions, b.cluster.hit_ratio,
         );
     }
+    if let Some(h) = &report.hotspot {
+        eprintln!(
+            "loadgen: hotspot pass: beacon-load CoV {:.3} pre-shift / {:.3} post-shift / {:.3} post-rebalance",
+            h.cov_pre_shift, h.cov_post_shift, h.cov_post_rebalance
+        );
+        match h.knee_qps {
+            Some(knee) if !h.sweep.is_empty() => {
+                eprintln!("loadgen: hotspot sweep knee at {knee:.0} qps");
+            }
+            None if !h.sweep.is_empty() => {
+                eprintln!("loadgen: hotspot sweep found no rate absorbed at >= 90%");
+            }
+            _ => {}
+        }
+    }
     if let Some(cmp) = &report.comparison {
         eprintln!(
             "loadgen: pooled p99 {:.2} ms vs unpooled p99 {:.2} ms",
@@ -210,12 +249,6 @@ fn main() -> ExitCode {
         if report.cluster.requests == 0 {
             failures.push("cluster served no requests".to_owned());
         }
-        if let Some(p) = &report.pipelined {
-            eprintln!(
-            "loadgen: pipelined ceiling {:.0} qps, fetch p50 {:.2} ms / p99 {:.2} ms, {} errors",
-            p.achieved_qps, p.fetch.p50_ms, p.fetch.p99_ms, p.errors,
-        );
-        }
         if let Some(b) = &report.bounded {
             // Capacity pressure must actually bite: a bounded pass with
             // no evictions (or a perfect hit ratio) means the cap was
@@ -227,6 +260,37 @@ fn main() -> ExitCode {
                 failures.push(format!(
                     "bounded pass hit ratio {:.4} not under 1.0",
                     b.cluster.hit_ratio
+                ));
+            }
+            // Every eviction deregisters its copy at the beacon; on a
+            // fault-free loopback run every one of those must land.
+            if b.cluster.unregister_failures > 0 {
+                failures.push(format!(
+                    "bounded pass left {} unconfirmed eviction deregistrations",
+                    b.cluster.unregister_failures
+                ));
+            }
+        }
+        if let Some(h) = &report.hotspot {
+            // The hotspot gate is deliberately loose: after the hot set
+            // moves, a rebalance must leave beacon load flatter than the
+            // stale table did — the direction of the effect, not its size.
+            if !h.digest_verified {
+                failures.push("hotspot schedule digest did not reproduce".to_owned());
+            }
+            if h.populate_errors > 0 {
+                failures.push(format!("{} hotspot populate failures", h.populate_errors));
+            }
+            if h.cov_post_rebalance >= h.cov_post_shift {
+                failures.push(format!(
+                    "post-rebalance CoV {:.4} not below post-shift CoV {:.4}",
+                    h.cov_post_rebalance, h.cov_post_shift
+                ));
+            }
+            if h.cluster.unregister_failures > 0 {
+                failures.push(format!(
+                    "hotspot pass left {} unconfirmed deregistrations",
+                    h.cluster.unregister_failures
                 ));
             }
         }

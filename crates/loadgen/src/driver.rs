@@ -29,12 +29,12 @@ use cachecloud_cluster::wire::{frame_request, FrameDecoder};
 use cachecloud_cluster::{CloudClient, LocalCluster, Request, Response};
 use cachecloud_metrics::Summary;
 use cachecloud_types::{ByteSize, CacheCloudError};
-use cachecloud_workload::{SydneyTraceBuilder, Trace, ZipfTraceBuilder};
+use cachecloud_workload::{MovingHotspotTraceBuilder, SydneyTraceBuilder, Trace, ZipfTraceBuilder};
 
 use crate::capture::{LatencySummary, Recorder};
 use crate::report::{
-    BenchReport, BoundedReport, ClusterReport, Comparison, NodeBrief, PoolCounters, RampPoint,
-    RunReport,
+    BenchReport, BoundedReport, ClusterReport, Comparison, HotspotPhase, HotspotReport, NodeBrief,
+    PoolCounters, RampPoint, RebalanceBrief, RunReport,
 };
 use crate::schedule::{Op, OpKind, Schedule};
 
@@ -103,6 +103,23 @@ pub struct BenchConfig {
     /// of frames in flight per connection, which is what the reactor's
     /// per-connection pipelining exists for.
     pub pipeline_depth: usize,
+    /// Operations in the moving-hotspot rebalance pass (0 skips it). The
+    /// pass drives a Zipf base stream with a hot document set that shifts
+    /// identity mid-run, rebalancing on a fixed cadence, and reports
+    /// beacon-load CoV per phase — the regime the paper's dynamic
+    /// intra-ring hashing exists for.
+    pub hotspot_ops: usize,
+    /// Offered open-loop rate for the hotspot pass.
+    pub hotspot_qps: f64,
+    /// Documents in the hotspot pass's hot set.
+    pub hot_docs: usize,
+    /// Fraction of hotspot-pass traffic aimed at the current hot set.
+    pub hot_fraction: f64,
+    /// Offered rates for the hotspot knee sweep (empty skips it). The
+    /// knee is the largest offered rate the cloud still absorbs at ≥ 90 %.
+    pub sweep: Vec<f64>,
+    /// Operations per knee-sweep step.
+    pub sweep_ops: usize,
 }
 
 impl BenchConfig {
@@ -127,6 +144,12 @@ impl BenchConfig {
             bounded_capacity: 16 * 1024,
             bounded_ops: 600,
             pipeline_depth: 16,
+            hotspot_ops: 1_500,
+            hotspot_qps: 400.0,
+            hot_docs: 12,
+            hot_fraction: 0.6,
+            sweep: Vec::new(),
+            sweep_ops: 0,
         }
     }
 
@@ -151,6 +174,14 @@ impl BenchConfig {
             bounded_capacity: 32 * 1024,
             bounded_ops: 2_000,
             pipeline_depth: 32,
+            hotspot_ops: 12_000,
+            hotspot_qps: 800.0,
+            hot_docs: 26,
+            hot_fraction: 0.8,
+            sweep: vec![
+                800.0, 1_600.0, 3_200.0, 6_400.0, 12_800.0, 19_200.0, 25_600.0,
+            ],
+            sweep_ops: 2_000,
         }
     }
 }
@@ -290,6 +321,12 @@ impl Driver {
             None
         };
 
+        let hotspot = if c.hotspot_ops > 0 {
+            Some(self.run_hotspot()?)
+        } else {
+            None
+        };
+
         cluster.shutdown();
 
         Ok(BenchReport {
@@ -313,6 +350,177 @@ impl Driver {
             pool,
             comparison,
             bounded,
+            hotspot,
+        })
+    }
+
+    /// The moving-hotspot synthesizer for this config: two 5-minute phases
+    /// whose hot set relocates at the boundary, with rates chosen so the
+    /// full trace holds roughly `hotspot_ops` events (the pass replays it
+    /// untruncated — truncation would amputate the second phase).
+    fn hotspot_builder(&self) -> MovingHotspotTraceBuilder {
+        let c = &self.config;
+        MovingHotspotTraceBuilder::new()
+            .documents(c.docs)
+            .theta(c.theta)
+            .caches(c.nodes)
+            .duration_minutes(10)
+            .phase_minutes(5)
+            .hot_docs(c.hot_docs)
+            .hot_fraction(c.hot_fraction)
+            .requests_per_cache_per_minute(c.hotspot_ops as f64 * 0.8 / (c.nodes as f64 * 10.0))
+            .updates_per_minute(c.hotspot_ops as f64 * 0.2 / 10.0)
+            .seed(c.seed)
+    }
+
+    /// The moving-hotspot rebalance pass.
+    ///
+    /// One schedule, three driven windows against a fresh cluster:
+    ///
+    /// 1. **pre_shift** — phase 0 of the trace; traffic and (after the
+    ///    first rebalance) routing table agree on where the hot set is.
+    /// 2. **post_shift** — the first half of phase 1: the hot set has
+    ///    jumped to a disjoint document set while the table is still tuned
+    ///    to phase 0. This is the stale regime.
+    /// 3. **post_rebalance** — the second half of phase 1, after a second
+    ///    rebalance retuned sub-ranges to the new hot set.
+    ///
+    /// Each `rebalance` drains the beacon-load ledgers, so its `cov_before`
+    /// is exactly the balance the window before it produced; a final manual
+    /// drain yields the post-rebalance CoV. The paper's claim — and the CI
+    /// gate — is that the third CoV lands below the second.
+    fn run_hotspot(&self) -> Result<HotspotReport, CacheCloudError> {
+        let c = &self.config;
+        let builder = self.hotspot_builder();
+        let trace = builder.build();
+        let schedule = Schedule::from_trace(&trace, c.hotspot_qps, usize::MAX);
+        let digest_verified = Schedule::from_trace(&builder.build(), c.hotspot_qps, usize::MAX)
+            .digest()
+            == schedule.digest();
+
+        // The wall-clock instant of the hot-set shift: the trace's native
+        // phase boundary, compressed by the same factor `from_trace`
+        // applied to the whole timeline.
+        let native_span = trace.duration().as_secs_f64().max(1e-9);
+        let native_rate = trace.events().len() as f64 / native_span;
+        let scale = native_rate / c.hotspot_qps;
+        let phase_native_us = builder.phase_length_minutes() * 60 * 1_000_000;
+        let shift_us = (phase_native_us as f64 * scale) as u64;
+        let end_us = schedule.ops().last().map_or(0, |op| op.at_us) + 1;
+        let mid_us = shift_us + end_us.saturating_sub(shift_us) / 2;
+
+        let pre = schedule.segment(0, shift_us);
+        let stale = schedule.segment(shift_us, mid_us);
+        let tuned = schedule.segment(mid_us, u64::MAX);
+
+        let cluster = LocalCluster::spawn_with_options(c.nodes, ByteSize::UNLIMITED, true)?;
+        let client = cluster.client();
+        let docs = DocSet::of(&trace, c.body_cap);
+        let (_, populate_errors) = populate(&client, &docs);
+
+        let handoffs = |client: &CloudClient| -> Result<u64, CacheCloudError> {
+            Ok(client.cloud_stats()?.counter("handoff_records"))
+        };
+
+        let mut phases = Vec::with_capacity(3);
+        let mut rebalances = Vec::with_capacity(2);
+
+        let mut run = run_open(&client, &pre, &docs, c.nodes, c.workers, 0);
+        run.mode = "open/hotspot".to_owned();
+        phases.push(HotspotPhase {
+            name: "pre_shift".to_owned(),
+            run,
+        });
+        let h0 = handoffs(&client)?;
+        let r1 = client.rebalance()?;
+        let h1 = handoffs(&client)?;
+        rebalances.push(RebalanceBrief {
+            after_phase: "pre_shift".to_owned(),
+            version: r1.version,
+            cov_before: r1.cov_before,
+            moved_ranges: r1.moved_ranges as u64,
+            handoff_records: h1.saturating_sub(h0),
+        });
+
+        let mut run = run_open(&client, &stale, &docs, c.nodes, c.workers, 0);
+        run.mode = "open/hotspot".to_owned();
+        phases.push(HotspotPhase {
+            name: "post_shift".to_owned(),
+            run,
+        });
+        let r2 = client.rebalance()?;
+        let h2 = handoffs(&client)?;
+        rebalances.push(RebalanceBrief {
+            after_phase: "post_shift".to_owned(),
+            version: r2.version,
+            cov_before: r2.cov_before,
+            moved_ranges: r2.moved_ranges as u64,
+            handoff_records: h2.saturating_sub(h1),
+        });
+
+        let mut run = run_open(&client, &tuned, &docs, c.nodes, c.workers, 0);
+        run.mode = "open/hotspot".to_owned();
+        phases.push(HotspotPhase {
+            name: "post_rebalance".to_owned(),
+            run,
+        });
+
+        // Final manual ledger drain: the balance the retuned table held
+        // over the post-rebalance window.
+        let mut loads = Vec::with_capacity(c.nodes);
+        for node in 0..c.nodes as u32 {
+            loads.push(
+                client
+                    .load_ledger(node)?
+                    .iter()
+                    .map(|(_, _, load)| load)
+                    .sum::<f64>(),
+            );
+        }
+        let cov_post_rebalance = Summary::of(&loads).coefficient_of_variation();
+
+        // The knee sweep rides the same (already balanced, fully resident)
+        // cluster: open-loop bursts at escalating offered rates, knee = the
+        // largest rate still absorbed at >= 90 %.
+        let mut sweep = Vec::with_capacity(c.sweep.len());
+        for &rate in &c.sweep {
+            let seg = Schedule::from_trace(&trace, rate, c.sweep_ops.max(1));
+            let run = run_open(&client, &seg, &docs, c.nodes, c.workers, 0);
+            sweep.push(RampPoint {
+                offered_qps: rate,
+                achieved_qps: run.achieved_qps,
+                p99_ms: run.fetch.p99_ms,
+                errors: run.errors,
+            });
+        }
+        let knee_qps = sweep
+            .iter()
+            .filter(|p| p.achieved_qps >= 0.9 * p.offered_qps)
+            .map(|p| p.offered_qps)
+            .fold(None, |best: Option<f64>, q| {
+                Some(best.map_or(q, |b| b.max(q)))
+            });
+
+        let cluster_report = scrape_cluster(&client, c.nodes)?;
+        cluster.shutdown();
+
+        Ok(HotspotReport {
+            offered_qps: c.hotspot_qps,
+            schedule_ops: schedule.len(),
+            schedule_digest: format!("{:016x}", schedule.digest()),
+            digest_verified,
+            hot_docs: c.hot_docs,
+            hot_fraction: c.hot_fraction,
+            shift_at_s: shift_us as f64 / 1e6,
+            populate_errors,
+            phases,
+            rebalances,
+            cov_pre_shift: r1.cov_before,
+            cov_post_shift: r2.cov_before,
+            cov_post_rebalance,
+            sweep,
+            knee_qps,
+            cluster: cluster_report,
         })
     }
 
@@ -722,6 +930,8 @@ fn scrape_cluster(client: &CloudClient, nodes: usize) -> Result<ClusterReport, C
         rpc_retries: total.counter("rpc_retries"),
         rpc_errors: total.counter("rpc_errors"),
         rpc_timeouts: total.counter("rpc_timeouts"),
+        unregister_failures: total.counter("unregister_failures"),
+        directory_reroutes: total.counter("directory_reroutes"),
         beacon_load_cov: loads.coefficient_of_variation(),
         per_node,
     })

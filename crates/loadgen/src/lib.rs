@@ -22,7 +22,9 @@
 //!   log-bucketed histograms ([`cachecloud_metrics::LogHistogram`]);
 //! * [`report`] — the `BENCH_cluster.json` report: achieved qps,
 //!   p50/p95/p99/p99.9 per op kind, error counts, cluster-side telemetry,
-//!   beacon-load imbalance, and a pooled-vs-unpooled comparison.
+//!   beacon-load imbalance, a pooled-vs-unpooled comparison, and the
+//!   moving-hotspot rebalance pass (per-phase beacon-load CoV plus an
+//!   offered-rate sweep to the knee).
 //!
 //! # Examples
 //!
@@ -45,5 +47,5 @@ pub mod schedule;
 
 pub use capture::{LatencySummary, Recorder};
 pub use driver::{BenchConfig, Driver, WorkloadKind};
-pub use report::BenchReport;
+pub use report::{BenchReport, HotspotReport};
 pub use schedule::{Op, OpKind, Schedule};

@@ -55,6 +55,13 @@ pub struct ClusterReport {
     pub rpc_errors: u64,
     /// Node-side RPC deadline expirations.
     pub rpc_timeouts: u64,
+    /// Eviction-path deregistrations that could not be confirmed at the
+    /// beacon (each one is a potentially stale holder entry left in a
+    /// directory). Must be 0 on a fault-free run.
+    pub unregister_failures: u64,
+    /// Directory requests that arrived at a node stamped with a stale
+    /// routing table and were re-routed to the current beacon.
+    pub directory_reroutes: u64,
     /// Coefficient of variation of per-node beacon load (the paper's
     /// balance metric: lower is flatter).
     pub beacon_load_cov: f64,
@@ -135,6 +142,71 @@ pub struct BoundedReport {
     pub cluster: ClusterReport,
 }
 
+/// One driven window of the moving-hotspot pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotPhase {
+    /// `"pre_shift"`, `"post_shift"`, or `"post_rebalance"`.
+    pub name: String,
+    /// The window's open-loop run.
+    pub run: RunReport,
+}
+
+/// One rebalance cycle inside the moving-hotspot pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceBrief {
+    /// The driven window that preceded this rebalance.
+    pub after_phase: String,
+    /// Routing-table version the rebalance installed.
+    pub version: u64,
+    /// Beacon-load CoV of the window that just ended (drained by this
+    /// rebalance, i.e. measured *before* its new table takes effect).
+    pub cov_before: f64,
+    /// Sub-ranges whose boundaries the new table moved.
+    pub moved_ranges: u64,
+    /// Directory records handed between beacons by this rebalance.
+    pub handoff_records: u64,
+}
+
+/// The moving-hotspot pass: a shifting hot set driven through a
+/// fixed-cadence rebalance schedule, plus an offered-rate sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotReport {
+    /// Offered open-loop rate of the phase windows.
+    pub offered_qps: f64,
+    /// Operations in the full hotspot schedule.
+    pub schedule_ops: usize,
+    /// Hex FNV-1a digest of the hotspot schedule.
+    pub schedule_digest: String,
+    /// True when rebuilding from the seed reproduced the digest.
+    pub digest_verified: bool,
+    /// Documents in the hot set.
+    pub hot_docs: usize,
+    /// Fraction of traffic aimed at the current hot set.
+    pub hot_fraction: f64,
+    /// Wall-clock second at which the hot set shifted.
+    pub shift_at_s: f64,
+    /// Populate-phase failures.
+    pub populate_errors: u64,
+    /// The three driven windows.
+    pub phases: Vec<HotspotPhase>,
+    /// The rebalance cycles between them.
+    pub rebalances: Vec<RebalanceBrief>,
+    /// Beacon-load CoV over the pre-shift window.
+    pub cov_pre_shift: f64,
+    /// CoV over the stale window (hot set moved, table not yet retuned).
+    pub cov_post_shift: f64,
+    /// CoV over the window after the second rebalance. The paper's claim
+    /// is `cov_post_rebalance < cov_post_shift`.
+    pub cov_post_rebalance: f64,
+    /// Offered-rate sweep steps (same shape as the ramp).
+    pub sweep: Vec<RampPoint>,
+    /// Largest swept rate absorbed at ≥ 90 % of offered (None when no
+    /// step qualified or the sweep was skipped).
+    pub knee_qps: Option<f64>,
+    /// Cloud-side telemetry after the pass.
+    pub cluster: ClusterReport,
+}
+
 /// Everything `BENCH_cluster.json` carries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -182,6 +254,8 @@ pub struct BenchReport {
     pub comparison: Option<Comparison>,
     /// Bounded-capacity pass, when configured.
     pub bounded: Option<BoundedReport>,
+    /// Moving-hotspot rebalance pass, when configured.
+    pub hotspot: Option<HotspotReport>,
 }
 
 impl BenchReport {
@@ -257,9 +331,73 @@ impl BenchReport {
             }
             None => w.null(),
         }
+        w.key("hotspot");
+        match &self.hotspot {
+            Some(h) => write_hotspot(&mut w, h),
+            None => w.null(),
+        }
         w.close();
         w.finish()
     }
+}
+
+fn write_hotspot(w: &mut JsonWriter, h: &HotspotReport) {
+    w.open();
+    w.num("offered_qps", h.offered_qps);
+    w.num("schedule_ops", h.schedule_ops as f64);
+    w.str("schedule_digest", &h.schedule_digest);
+    w.bool("digest_verified", h.digest_verified);
+    w.num("hot_docs", h.hot_docs as f64);
+    w.num("hot_fraction", h.hot_fraction);
+    w.num("shift_at_s", h.shift_at_s);
+    w.num("populate_errors", h.populate_errors as f64);
+    w.num("cov_pre_shift", h.cov_pre_shift);
+    w.num("cov_post_shift", h.cov_post_shift);
+    w.num("cov_post_rebalance", h.cov_post_rebalance);
+    w.key("phases");
+    w.open_array();
+    for phase in &h.phases {
+        w.array_item();
+        w.open();
+        w.str("name", &phase.name);
+        w.key("run");
+        write_run(w, &phase.run);
+        w.close();
+    }
+    w.close_array();
+    w.key("rebalances");
+    w.open_array();
+    for r in &h.rebalances {
+        w.array_item();
+        w.open();
+        w.str("after_phase", &r.after_phase);
+        w.num("version", r.version as f64);
+        w.num("cov_before", r.cov_before);
+        w.num("moved_ranges", r.moved_ranges as f64);
+        w.num("handoff_records", r.handoff_records as f64);
+        w.close();
+    }
+    w.close_array();
+    w.key("sweep");
+    w.open_array();
+    for point in &h.sweep {
+        w.array_item();
+        w.open();
+        w.num("offered_qps", point.offered_qps);
+        w.num("achieved_qps", point.achieved_qps);
+        w.num("fetch_p99_ms", point.p99_ms);
+        w.num("errors", point.errors as f64);
+        w.close();
+    }
+    w.close_array();
+    w.key("knee_qps");
+    match h.knee_qps {
+        Some(q) => w.push_num(q),
+        None => w.null(),
+    }
+    w.key("cluster");
+    write_cluster(w, &h.cluster);
+    w.close();
 }
 
 fn write_latency(w: &mut JsonWriter, s: &LatencySummary) {
@@ -301,6 +439,8 @@ fn write_cluster(w: &mut JsonWriter, c: &ClusterReport) {
     w.num("rpc_retries", c.rpc_retries as f64);
     w.num("rpc_errors", c.rpc_errors as f64);
     w.num("rpc_timeouts", c.rpc_timeouts as f64);
+    w.num("unregister_failures", c.unregister_failures as f64);
+    w.num("directory_reroutes", c.directory_reroutes as f64);
     w.num("beacon_load_cov", c.beacon_load_cov);
     w.key("per_node");
     w.open_array();
@@ -522,6 +662,8 @@ mod tests {
                 rpc_retries: 0,
                 rpc_errors: 0,
                 rpc_timeouts: 0,
+                unregister_failures: 0,
+                directory_reroutes: 0,
                 beacon_load_cov: 0.25,
                 per_node: vec![NodeBrief {
                     node: 0,
@@ -557,7 +699,74 @@ mod tests {
                     rpc_retries: 0,
                     rpc_errors: 0,
                     rpc_timeouts: 0,
+                    unregister_failures: 0,
+                    directory_reroutes: 0,
                     beacon_load_cov: 0.3,
+                    per_node: Vec::new(),
+                },
+            }),
+            hotspot: Some(HotspotReport {
+                offered_qps: 400.0,
+                schedule_ops: 1500,
+                schedule_digest: "1122334455667788".into(),
+                digest_verified: true,
+                hot_docs: 12,
+                hot_fraction: 0.6,
+                shift_at_s: 1.8,
+                populate_errors: 0,
+                phases: vec![
+                    HotspotPhase {
+                        name: "pre_shift".into(),
+                        run: run("open/hotspot"),
+                    },
+                    HotspotPhase {
+                        name: "post_shift".into(),
+                        run: run("open/hotspot"),
+                    },
+                    HotspotPhase {
+                        name: "post_rebalance".into(),
+                        run: run("open/hotspot"),
+                    },
+                ],
+                rebalances: vec![
+                    RebalanceBrief {
+                        after_phase: "pre_shift".into(),
+                        version: 1,
+                        cov_before: 0.8,
+                        moved_ranges: 5,
+                        handoff_records: 12,
+                    },
+                    RebalanceBrief {
+                        after_phase: "post_shift".into(),
+                        version: 2,
+                        cov_before: 1.1,
+                        moved_ranges: 7,
+                        handoff_records: 9,
+                    },
+                ],
+                cov_pre_shift: 0.8,
+                cov_post_shift: 1.1,
+                cov_post_rebalance: 0.4,
+                sweep: vec![RampPoint {
+                    offered_qps: 800.0,
+                    achieved_qps: 795.0,
+                    p99_ms: 2.5,
+                    errors: 0,
+                }],
+                knee_qps: Some(800.0),
+                cluster: ClusterReport {
+                    requests: 1200,
+                    evictions: 0,
+                    local_hits: 900,
+                    cloud_hits: 200,
+                    origin_fetches: 100,
+                    hit_ratio: 0.92,
+                    rpc_retries: 0,
+                    rpc_errors: 0,
+                    rpc_timeouts: 0,
+                    unregister_failures: 0,
+                    directory_reroutes: 3,
+                    beacon_load_cov: 0.4,
                     per_node: Vec::new(),
                 },
             }),
@@ -623,9 +832,35 @@ mod tests {
             "\"pipelined\"",
             "\"capacity_bytes\"",
             "\"evictions\"",
+            "\"hotspot\"",
+            "\"cov_pre_shift\"",
+            "\"cov_post_shift\"",
+            "\"cov_post_rebalance\"",
+            "\"knee_qps\": 800",
+            "\"after_phase\"",
+            "\"handoff_records\"",
+            "\"unregister_failures\"",
+            "\"directory_reroutes\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn hotspot_null_knee_and_missing_pass_render() {
+        let mut r = report();
+        if let Some(h) = r.hotspot.as_mut() {
+            h.knee_qps = None;
+            h.sweep.clear();
+        }
+        let json = r.to_json();
+        check_json(&json);
+        assert!(json.contains("\"knee_qps\": null"));
+        assert!(json.contains("\"sweep\": []"));
+        r.hotspot = None;
+        let json = r.to_json();
+        check_json(&json);
+        assert!(json.contains("\"hotspot\": null"));
     }
 
     #[test]
@@ -636,6 +871,7 @@ mod tests {
         r.pool = None;
         r.comparison = None;
         r.bounded = None;
+        r.hotspot = None;
         r.ramp.clear();
         let json = r.to_json();
         check_json(&json);

@@ -103,6 +103,27 @@ impl Schedule {
         Schedule { ops, offered_qps }
     }
 
+    /// The operations whose intended send times fall in `[from_us, to_us)`,
+    /// rebased so the segment's own epoch is zero. The offered rate is
+    /// inherited: a segment is the same stream over a shorter window, not a
+    /// rescale. This is how the hotspot pass splits one schedule at the
+    /// hot-set shift so each phase can be driven — and measured — alone.
+    pub fn segment(&self, from_us: u64, to_us: u64) -> Schedule {
+        let ops = self
+            .ops
+            .iter()
+            .filter(|op| (from_us..to_us).contains(&op.at_us))
+            .map(|op| Op {
+                at_us: op.at_us - from_us,
+                ..*op
+            })
+            .collect();
+        Schedule {
+            ops,
+            offered_qps: self.offered_qps,
+        }
+    }
+
     /// The operations, ordered by intended send time.
     pub fn ops(&self) -> &[Op] {
         &self.ops
@@ -197,6 +218,43 @@ mod tests {
         assert!(s.ops().iter().any(|op| op.kind == OpKind::Fetch));
         assert!(s.ops().iter().any(|op| op.kind == OpKind::Update));
         assert!(s.ops().iter().all(|op| op.doc < 100));
+    }
+
+    #[test]
+    fn segments_partition_without_loss_or_overlap() {
+        let s = Schedule::from_trace(&trace(9), 400.0, usize::MAX);
+        let cut = s.ops()[s.len() / 2].at_us;
+        let head = s.segment(0, cut);
+        let tail = s.segment(cut, u64::MAX);
+        assert_eq!(head.len() + tail.len(), s.len());
+        // Rebased: the tail's first op lands at offset zero from the cut.
+        assert!(head.ops().iter().all(|op| op.at_us < cut));
+        assert_eq!(
+            tail.ops().first().map(|op| op.at_us + cut),
+            s.ops().iter().find(|op| op.at_us >= cut).map(|op| op.at_us),
+        );
+        // The segment replays the same (doc, kind, cache) stream.
+        let rejoined: Vec<(u32, OpKind, u32)> = head
+            .ops()
+            .iter()
+            .chain(tail.ops())
+            .map(|op| (op.doc, op.kind, op.cache))
+            .collect();
+        let original: Vec<(u32, OpKind, u32)> = s
+            .ops()
+            .iter()
+            .map(|op| (op.doc, op.kind, op.cache))
+            .collect();
+        assert_eq!(rejoined, original);
+        assert_eq!(head.offered_qps(), s.offered_qps());
+    }
+
+    #[test]
+    fn empty_segment_is_empty() {
+        let s = Schedule::from_trace(&trace(9), 400.0, usize::MAX);
+        let empty = s.segment(u64::MAX - 1, u64::MAX);
+        assert!(empty.is_empty());
+        assert_eq!(empty.span_secs(), 0.0);
     }
 
     #[test]

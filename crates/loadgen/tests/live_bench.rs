@@ -21,6 +21,12 @@ fn tiny() -> BenchConfig {
         bounded_capacity: 2 * 1024,
         bounded_ops: 150,
         pipeline_depth: 8,
+        hotspot_ops: 400,
+        hotspot_qps: 400.0,
+        hot_docs: 6,
+        hot_fraction: 0.6,
+        sweep: vec![600.0],
+        sweep_ops: 120,
     }
 }
 
@@ -104,11 +110,34 @@ fn tiny_bench_produces_a_sane_report() {
         "the accounting identity holds under eviction pressure too"
     );
 
+    // The moving-hotspot pass: deterministic schedule, three driven
+    // windows bracketing two rebalances, fault-free directory traffic.
+    let hotspot = report.hotspot.as_ref().expect("hotspot pass ran");
+    assert!(hotspot.digest_verified, "hotspot schedule must reproduce");
+    assert_eq!(hotspot.populate_errors, 0);
+    assert_eq!(hotspot.phases.len(), 3);
+    assert_eq!(hotspot.phases[0].name, "pre_shift");
+    assert_eq!(hotspot.phases[1].name, "post_shift");
+    assert_eq!(hotspot.phases[2].name, "post_rebalance");
+    assert!(hotspot.phases.iter().all(|p| p.run.measured_ops > 0));
+    assert_eq!(hotspot.rebalances.len(), 2);
+    assert_eq!(hotspot.rebalances[0].version, 1);
+    assert_eq!(hotspot.rebalances[1].version, 2);
+    assert!(hotspot.cov_post_shift.is_finite());
+    assert!(hotspot.cov_post_rebalance.is_finite());
+    assert_eq!(hotspot.sweep.len(), 1);
+    assert!(hotspot.sweep[0].achieved_qps > 0.0);
+    assert_eq!(
+        hotspot.cluster.unregister_failures, 0,
+        "fault-free run must confirm every eviction deregistration"
+    );
+
     // And the whole thing renders as JSON with the headline fields.
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"cachecloud-loadgen/1\""));
     assert!(json.contains("\"digest_verified\": true"));
     assert!(json.contains("\"p999_ms\""));
+    assert!(json.contains("\"cov_post_rebalance\""));
 }
 
 #[test]

@@ -99,11 +99,19 @@ pub enum EventKind {
     /// An inbound connection failed to be accepted — a failed `accept`
     /// call or fd exhaustion at the listener (cluster only).
     AcceptError,
+    /// An eviction-path deregistration could not be confirmed at its
+    /// beacon — the directory may retain a stale holder entry until the
+    /// next registration churn (cluster only).
+    UnregisterFailure,
+    /// A directory request carrying a stale routing-table version was
+    /// re-routed to the beacon that owns the URL under the current table
+    /// (cluster only).
+    DirectoryReroute,
 }
 
 impl EventKind {
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 25] = [
+    pub const ALL: [EventKind; 27] = [
         EventKind::Request,
         EventKind::LocalHit,
         EventKind::CloudHit,
@@ -129,6 +137,8 @@ impl EventKind {
         EventKind::OriginFallback,
         EventKind::BeaconFailover,
         EventKind::AcceptError,
+        EventKind::UnregisterFailure,
+        EventKind::DirectoryReroute,
     ];
 
     /// Stable snake_case name, used as the counter key in a [`Registry`],
@@ -161,6 +171,8 @@ impl EventKind {
             EventKind::OriginFallback => "origin_fallbacks",
             EventKind::BeaconFailover => "beacon_failovers",
             EventKind::AcceptError => "accept_errors",
+            EventKind::UnregisterFailure => "unregister_failures",
+            EventKind::DirectoryReroute => "directory_reroutes",
         }
     }
 }

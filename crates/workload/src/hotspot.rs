@@ -1,0 +1,383 @@
+//! Builder for moving-hotspot workloads.
+//!
+//! The paper's core claim for dynamic intra-ring hashing is that per-cycle
+//! sub-range rebalancing tracks beacon load *under skewed and shifting
+//! workloads*. This builder synthesizes exactly that stress: a Zipf-θ base
+//! request stream overlaid with a small hot document set whose identity
+//! shifts every `phase_minutes`. Within a phase the hot set is stable, so a
+//! rebalance cycle can tune sub-ranges to it; at the phase boundary the hot
+//! mass jumps to a disjoint set of documents, and a table tuned to the old
+//! phase is maximally stale.
+//!
+//! Hot-set membership is drawn from a seeded permutation of the catalog, so
+//! consecutive phases pick disjoint hot sets (as long as the catalog is large
+//! enough) and the whole trace is reproducible from its seed.
+
+use cachecloud_sim::SimRng;
+use cachecloud_types::{CacheId, SimDuration, SimTime};
+
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use crate::zipf::ZipfSampler;
+use crate::zipf_dataset::{build_catalog, poisson_count};
+
+/// Domain-separation constant for the hot-set permutation RNG, so
+/// [`MovingHotspotTraceBuilder::hot_set`] can be computed without
+/// generating the trace.
+const HOT_SET_SALT: u64 = 0x4045;
+
+/// Builds moving-hotspot traces: a Zipf-θ base stream plus a hot document
+/// set that relocates every `phase_minutes`.
+///
+/// # Examples
+///
+/// ```
+/// use cachecloud_workload::MovingHotspotTraceBuilder;
+///
+/// let builder = MovingHotspotTraceBuilder::new()
+///     .documents(200)
+///     .caches(4)
+///     .duration_minutes(10)
+///     .phase_minutes(5)
+///     .hot_docs(8)
+///     .hot_fraction(0.6)
+///     .requests_per_cache_per_minute(40.0)
+///     .updates_per_minute(20.0)
+///     .seed(42);
+/// let trace = builder.build();
+/// assert_eq!(trace.num_caches(), 4);
+/// assert_eq!(builder.num_phases(), 2);
+/// // Consecutive phases use disjoint hot sets.
+/// let a = builder.hot_set(0);
+/// let b = builder.hot_set(1);
+/// assert!(a.iter().all(|d| !b.contains(d)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingHotspotTraceBuilder {
+    documents: usize,
+    theta: f64,
+    caches: usize,
+    duration_minutes: u64,
+    phase_minutes: u64,
+    hot_docs: usize,
+    hot_fraction: f64,
+    requests_per_cache_per_minute: f64,
+    updates_per_minute: f64,
+    size_mu: f64,
+    size_sigma: f64,
+    seed: u64,
+}
+
+impl Default for MovingHotspotTraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MovingHotspotTraceBuilder {
+    /// Creates a builder with the benchmark defaults: Zipf-0.9 base over
+    /// 1 000 documents, 4 caches, two 5-minute phases, a 16-document hot
+    /// set receiving 60 % of the traffic.
+    pub fn new() -> Self {
+        MovingHotspotTraceBuilder {
+            documents: 1_000,
+            theta: 0.9,
+            caches: 4,
+            duration_minutes: 10,
+            phase_minutes: 5,
+            hot_docs: 16,
+            hot_fraction: 0.6,
+            requests_per_cache_per_minute: 120.0,
+            updates_per_minute: 60.0,
+            size_mu: 8.6,
+            size_sigma: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Number of unique documents.
+    pub fn documents(mut self, n: usize) -> Self {
+        self.documents = n;
+        self
+    }
+
+    /// Zipf parameter for the base (non-hotspot) stream.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Number of edge caches receiving requests.
+    pub fn caches(mut self, n: usize) -> Self {
+        self.caches = n;
+        self
+    }
+
+    /// Trace length in minutes.
+    pub fn duration_minutes(mut self, m: u64) -> Self {
+        self.duration_minutes = m;
+        self
+    }
+
+    /// Hot-set lifetime: the hot set shifts to a disjoint document set every
+    /// `m` minutes.
+    pub fn phase_minutes(mut self, m: u64) -> Self {
+        self.phase_minutes = m;
+        self
+    }
+
+    /// Number of documents in the hot set.
+    pub fn hot_docs(mut self, n: usize) -> Self {
+        self.hot_docs = n;
+        self
+    }
+
+    /// Fraction of requests (and updates) directed at the current hot set;
+    /// the remainder follows the Zipf-θ base distribution.
+    pub fn hot_fraction(mut self, f: f64) -> Self {
+        self.hot_fraction = f;
+        self
+    }
+
+    /// Mean request rate per cache per minute.
+    pub fn requests_per_cache_per_minute(mut self, r: f64) -> Self {
+        self.requests_per_cache_per_minute = r;
+        self
+    }
+
+    /// Mean origin-side update rate per minute. Updates follow the same
+    /// hot/base split as requests: hot documents are also update-hot, which
+    /// is what makes the beacon directory churn under the moving hotspot.
+    pub fn updates_per_minute(mut self, r: f64) -> Self {
+        self.updates_per_minute = r;
+        self
+    }
+
+    /// Log-normal document-size parameters (of the underlying normal, in
+    /// log-bytes).
+    pub fn size_lognormal(mut self, mu: f64, sigma: f64) -> Self {
+        self.size_mu = mu;
+        self.size_sigma = sigma;
+        self
+    }
+
+    /// RNG seed; identical configurations with identical seeds produce
+    /// identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of hotspot phases covered by the trace duration (the last one
+    /// may be partial).
+    pub fn num_phases(&self) -> u64 {
+        self.duration_minutes.div_ceil(self.phase_minutes.max(1))
+    }
+
+    /// Hot-set lifetime in minutes.
+    pub fn phase_length_minutes(&self) -> u64 {
+        self.phase_minutes.max(1)
+    }
+
+    /// The document ids forming the hot set during phase `phase`.
+    ///
+    /// Derived from a seeded permutation of the catalog: phase `p` takes the
+    /// permutation slice `[p * hot_docs, (p + 1) * hot_docs)` (wrapping), so
+    /// consecutive phases are disjoint whenever
+    /// `hot_docs * num_phases <= documents`.
+    pub fn hot_set(&self, phase: u64) -> Vec<u32> {
+        let mut rng = SimRng::seed_from_u64(self.seed ^ HOT_SET_SALT);
+        let mut perm: Vec<u32> = (0..self.documents as u32).collect();
+        rng.shuffle(&mut perm);
+        let n = self.documents;
+        let start = (phase as usize).wrapping_mul(self.hot_docs) % n.max(1);
+        (0..self.hot_docs.min(n))
+            .map(|i| perm[(start + i) % n])
+            .collect()
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `documents == 0`, `caches == 0`, or `hot_docs == 0`.
+    pub fn build(&self) -> Trace {
+        assert!(self.documents > 0, "need at least one document");
+        assert!(self.caches > 0, "need at least one cache");
+        assert!(self.hot_docs > 0, "need at least one hot document");
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0xC10D ^ HOT_SET_SALT);
+        let catalog = build_catalog(
+            self.documents,
+            "/hot/doc-",
+            self.size_mu,
+            self.size_sigma,
+            &mut rng,
+        );
+
+        let base = ZipfSampler::new(self.documents, self.theta);
+        let phase_us = SimDuration::from_minutes(self.phase_length_minutes())
+            .as_micros()
+            .max(1);
+        let hot_sets: Vec<Vec<u32>> = (0..self.num_phases()).map(|p| self.hot_set(p)).collect();
+        let pick = |rng: &mut SimRng, at_us: u64| -> u32 {
+            let phase = (at_us / phase_us) as usize;
+            if rng.chance(self.hot_fraction) {
+                let set = &hot_sets[phase.min(hot_sets.len() - 1)];
+                set[rng.next_usize(set.len())]
+            } else {
+                base.sample(rng) as u32
+            }
+        };
+
+        let duration = SimDuration::from_minutes(self.duration_minutes);
+        let span_us = duration.as_micros().max(1);
+        let mut events = Vec::new();
+
+        let total_requests = poisson_count(
+            &mut rng,
+            self.requests_per_cache_per_minute * self.caches as f64 * self.duration_minutes as f64,
+        );
+        for _ in 0..total_requests {
+            let at_us = rng.range_u64(0, span_us);
+            let doc = pick(&mut rng, at_us);
+            let cache = CacheId(rng.next_usize(self.caches));
+            events.push(TraceEvent {
+                at: SimTime::from_micros(at_us),
+                doc,
+                kind: TraceEventKind::Request { cache },
+            });
+        }
+
+        let total_updates = poisson_count(
+            &mut rng,
+            self.updates_per_minute * self.duration_minutes as f64,
+        );
+        for _ in 0..total_updates {
+            let at_us = rng.range_u64(0, span_us);
+            let doc = pick(&mut rng, at_us);
+            events.push(TraceEvent {
+                at: SimTime::from_micros(at_us),
+                doc,
+                kind: TraceEventKind::Update,
+            });
+        }
+
+        Trace::new(catalog, events, duration, self.caches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MovingHotspotTraceBuilder {
+        MovingHotspotTraceBuilder::new()
+            .documents(300)
+            .caches(4)
+            .duration_minutes(10)
+            .phase_minutes(5)
+            .hot_docs(10)
+            .hot_fraction(0.6)
+            .requests_per_cache_per_minute(60.0)
+            .updates_per_minute(30.0)
+            .seed(7)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small().build();
+        let b = small().build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = small().build();
+        let b = small().seed(8).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hot_sets_shift_and_are_disjoint() {
+        let b = small();
+        assert_eq!(b.num_phases(), 2);
+        let p0 = b.hot_set(0);
+        let p1 = b.hot_set(1);
+        assert_eq!(p0.len(), 10);
+        assert_eq!(p1.len(), 10);
+        assert!(p0.iter().all(|d| !p1.contains(d)), "p0 {p0:?} p1 {p1:?}");
+    }
+
+    #[test]
+    fn hot_set_is_stable_across_calls() {
+        let b = small();
+        assert_eq!(b.hot_set(0), b.hot_set(0));
+        assert_eq!(b.hot_set(1), b.hot_set(1));
+    }
+
+    #[test]
+    fn hot_mass_moves_between_phases() {
+        let b = small();
+        let trace = b.build();
+        let phase_us = 5 * 60 * 1_000_000u64;
+        let mass = |set: &[u32], lo: u64, hi: u64| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| {
+                    let t = e.at.as_micros();
+                    t >= lo && t < hi && set.contains(&e.doc)
+                })
+                .count() as f64
+        };
+        let total = |lo: u64, hi: u64| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| {
+                    let t = e.at.as_micros();
+                    t >= lo && t < hi
+                })
+                .count()
+                .max(1) as f64
+        };
+        let p0 = b.hot_set(0);
+        let p1 = b.hot_set(1);
+        // Phase 0's hot set dominates phase 0 and fades in phase 1 (residual
+        // Zipf base mass only), and vice versa.
+        let p0_share_in_0 = mass(&p0, 0, phase_us) / total(0, phase_us);
+        let p0_share_in_1 = mass(&p0, phase_us, 2 * phase_us) / total(phase_us, 2 * phase_us);
+        let p1_share_in_1 = mass(&p1, phase_us, 2 * phase_us) / total(phase_us, 2 * phase_us);
+        assert!(p0_share_in_0 > 0.45, "share {p0_share_in_0}");
+        assert!(p0_share_in_1 < 0.2, "share {p0_share_in_1}");
+        assert!(p1_share_in_1 > 0.45, "share {p1_share_in_1}");
+    }
+
+    #[test]
+    fn counts_near_expectation() {
+        let tr = small().build();
+        // E[requests] = 60 * 4 * 10 = 2400; E[updates] = 300.
+        let req = tr.request_count() as f64;
+        assert!((req - 2400.0).abs() < 300.0, "req {req}");
+        let upd = tr.update_count() as f64;
+        assert!((upd - 300.0).abs() < 90.0, "upd {upd}");
+    }
+
+    #[test]
+    fn zero_hot_fraction_degenerates_to_zipf_base() {
+        let tr = small().hot_fraction(0.0).build();
+        // With no hot mass, doc popularity follows the Zipf head.
+        let mut counts = vec![0u64; 300];
+        for e in tr.events() {
+            counts[e.doc as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        let tail: u64 = counts[290..].iter().sum();
+        assert!(head > tail * 3, "head {head} tail {tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one hot document")]
+    fn zero_hot_docs_panics() {
+        let _ = small().hot_docs(0).build();
+    }
+}

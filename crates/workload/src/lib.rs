@@ -39,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hotspot;
 pub mod stats;
 pub mod sydney;
 pub mod trace;
 pub mod zipf;
 pub mod zipf_dataset;
 
+pub use hotspot::MovingHotspotTraceBuilder;
 pub use stats::TraceStats;
 pub use sydney::SydneyTraceBuilder;
 pub use trace::{Catalog, DocumentSpec, Trace, TraceEvent, TraceEventKind};

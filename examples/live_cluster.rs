@@ -108,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             client.update(u, b"hot update".to_vec(), 10 + round)?;
         }
     }
-    let version = client.rebalance()?;
+    let version = client.rebalance()?.version;
     let moved = hot.iter().filter(|u| client.beacon_of(u) != 0).count();
     println!(
         "rebalanced to routing-table v{version}: {moved}/{} hot documents moved to node 0's ring partner",

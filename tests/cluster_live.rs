@@ -120,9 +120,17 @@ fn live_rebalance_moves_hot_ranges_and_their_records() {
 
     // Coordinate a rebalance: the overloaded node 0 sheds part of its
     // sub-range to its ring partner (node 2 in 4-node/2-per-ring layout).
-    let version = client.rebalance().unwrap();
-    assert_eq!(version, 1);
+    let report = client.rebalance().unwrap();
+    assert_eq!(report.version, 1);
     assert_eq!(client.table_version(), 1);
+    assert!(
+        report.cov_before > 0.0,
+        "a skewed load must register as beacon-load imbalance"
+    );
+    assert!(
+        report.moved_ranges > 0,
+        "a skewed load must move a boundary"
+    );
     let moved: Vec<&String> = hot.iter().filter(|u| client.beacon_of(u) != 0).collect();
     assert!(
         !moved.is_empty(),
@@ -154,8 +162,12 @@ fn rebalance_without_load_changes_nothing() {
     let client = cluster.client();
     let urls: Vec<String> = (0..50).map(|i| format!("/calm/{i}")).collect();
     let before: Vec<u32> = urls.iter().map(|u| client.beacon_of(u)).collect();
-    let version = client.rebalance().unwrap();
-    assert_eq!(version, 1, "version advances even when nothing moves");
+    let report = client.rebalance().unwrap();
+    assert_eq!(
+        report.version, 1,
+        "version advances even when nothing moves"
+    );
+    assert_eq!(report.moved_ranges, 0, "no load, no movement");
     let after: Vec<u32> = urls.iter().map(|u| client.beacon_of(u)).collect();
     assert_eq!(before, after, "no load, no movement");
     cluster.shutdown();

@@ -150,7 +150,12 @@ proptest! {
     ) {
         let reqs = vec![
             Request::Lookup { url: url.clone() },
-            Request::Register { url: url.clone(), holder },
+            Request::Register { url: url.clone(), holder, table_version: version },
+            Request::UnregisterBatch {
+                urls: vec![url.clone(), String::new()],
+                holder,
+                table_version: version,
+            },
             Request::Put {
                 url,
                 version,
